@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 10 pipeline: steady-state iPerf
+//! allocation and the full conversion timeline on the testbed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flat_tree::PodMode;
+use testbed::iperf::{run, steady_state_gbps_with_k, IperfParams};
+use testbed::TestbedRig;
+
+fn bench(c: &mut Criterion) {
+    let rig = TestbedRig::new();
+    c.bench_function("fig10/steady_state_global_k4", |b| {
+        b.iter(|| steady_state_gbps_with_k(&rig, PodMode::Global, 4))
+    });
+    c.bench_function("fig10/full_timeline", |b| {
+        let mut p = IperfParams::paper_timeline();
+        p.duration_s = 130.0;
+        b.iter(|| run(&rig, &p).samples.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 11 pipeline: application models on the
+//! testbed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flat_tree::PodMode;
+use testbed::apps::{hadoop_shuffle, spark_broadcast, AppParams};
+use testbed::TestbedRig;
+
+fn bench(c: &mut Criterion) {
+    let rig = TestbedRig::new();
+    let p = AppParams::default_testbed();
+    c.bench_function("fig11/spark_broadcast_global", |b| {
+        b.iter(|| spark_broadcast(&rig, PodMode::Global, &p).phase_s)
+    });
+    c.bench_function("fig11/hadoop_shuffle_clos", |b| {
+        b.iter(|| hadoop_shuffle(&rig, PodMode::Clos, &p).phase_s)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the substrate algorithms every experiment rests
+//! on: Yen k-shortest paths, max-min water filling, flat-tree
+//! instantiation, and the wiring-property checkers. These are the
+//! performance-tracking benches for regressions, not paper figures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flat_tree::{FlatTreeParams, ModeAssignment, PodMode, FlatTree};
+use mcf::maxmin::{weighted_max_min, Entity};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use topology::ClosParams;
+
+fn bench(c: &mut Criterion) {
+    // Yen on the mini Clos.
+    let clos = ClosParams::mini().build();
+    let g = &clos.net.graph;
+    let s0 = clos.net.servers[0];
+    let s63 = clos.net.servers[63];
+    c.bench_function("substrates/yen_k8_mini_clos", |b| {
+        b.iter(|| netgraph::yen::k_shortest_paths(g, s0, s63, 8).len())
+    });
+
+    // Water filling with 2048 random entities over 256 links.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let caps: Vec<f64> = (0..256).map(|_| rng.gen_range(1.0..40.0)).collect();
+    let entities: Vec<Entity> = (0..2048)
+        .map(|_| {
+            let len = rng.gen_range(2..6);
+            Entity {
+                weight: 1.0,
+                links: (0..len).map(|_| rng.gen_range(0..256)).collect::<std::collections::BTreeSet<_>>().into_iter().collect(),
+            }
+        })
+        .collect();
+    c.bench_function("substrates/water_filling_2048x256", |b| {
+        b.iter(|| weighted_max_min(&caps, &entities))
+    });
+
+    // Flat-tree instantiation (all three modes).
+    let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+    c.bench_function("substrates/flat_tree_instantiate_3_modes", |b| {
+        b.iter_batched(
+            || ft.clone(),
+            |ft| {
+                for m in [PodMode::Clos, PodMode::Local, PodMode::Global] {
+                    ft.instantiate(&ModeAssignment::uniform(4, m));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Ablation: wiring pattern 1 vs 2 — average path length of global
+    // mode under each pattern (the §3.2 design choice).
+    for pattern in [flat_tree::WiringPattern::Pattern1, flat_tree::WiringPattern::Pattern2] {
+        let mut params = FlatTreeParams::new(ClosParams::mini(), 1, 1);
+        params.wiring = pattern;
+        if params.validate().is_err() {
+            continue;
+        }
+        let ft = FlatTree::new(params).unwrap();
+        c.bench_function(&format!("substrates/global_apl_{pattern:?}"), |b| {
+            b.iter(|| {
+                let inst = ft.instantiate(&ModeAssignment::uniform(4, PodMode::Global));
+                netgraph::metrics::avg_server_path_length(&inst.net.graph)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for the Table 1 pipeline: device-equivalent network
+//! construction + max-concurrent-flow LP at a tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_bench::experiments::common;
+use mcf::concurrent::max_concurrent_flow;
+use topology::{ClosParams, RandomGraphParams};
+use traffic::patterns::{clustered_all_to_all, sample_peers};
+
+fn bench(c: &mut Criterion) {
+    let clos = ClosParams::mini();
+    let net = clos.build().net;
+    let pairs = sample_peers(clustered_all_to_all(64, 8), 4, 1);
+    let coms = common::commodities(&net, &pairs, 10.0);
+    c.bench_function("table1/max_concurrent_flow_mini", |b| {
+        b.iter(|| max_concurrent_flow(&net.graph, &coms, 0.2).lambda)
+    });
+    c.bench_function("table1/device_equivalent_rg_build", |b| {
+        b.iter(|| RandomGraphParams::from_clos(&clos, 1).build().num_servers())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

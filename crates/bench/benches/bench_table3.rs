@@ -1,0 +1,30 @@
+//! Criterion bench for the Table 3 pipeline: rule compilation and
+//! conversion diffing on the testbed.
+
+use control::{Controller, DelayModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use flat_tree::{FlatTree, ModeAssignment, PodMode};
+use testbed::testbed_params;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table3/conversion_cycle", |b| {
+        b.iter(|| {
+            let ft = FlatTree::new(testbed_params()).unwrap();
+            let ctl = Controller::new(ft, 4, DelayModel::testbed());
+            let mut total = 0.0;
+            for mode in [PodMode::Global, PodMode::Local, PodMode::Clos] {
+                total += ctl
+                    .convert(&ModeAssignment::uniform(4, mode))
+                    .total_sequential_ms();
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

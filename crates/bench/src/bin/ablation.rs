@@ -1,0 +1,13 @@
+//! Extension experiment: ablation. See EXPERIMENTS.md.
+
+use ft_bench::experiments::ablation;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = ablation::run(scale);
+    ablation::print(&out);
+    if scale.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

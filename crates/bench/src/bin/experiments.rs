@@ -1,0 +1,19 @@
+//! Runs every table/figure experiment in sequence (the full evaluation).
+
+use ft_bench::experiments::*;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("flat-tree evaluation — scale: {}", if scale.full { "FULL (Table 2 sizes)" } else { "mini" });
+    table1::print(&table1::run(scale));
+    fig6::print(&fig6::run(scale));
+    fig7::print(&fig7::run(scale));
+    fig8::print(&fig8::run(scale));
+    fig10::print(&fig10::run(scale));
+    table3::print(&table3::run(scale));
+    fig11::print(&fig11::run(scale));
+    resilience::print(&resilience::run(scale));
+    hybrid::print(&hybrid::run(scale));
+    ablation::print(&ablation::run(scale));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's fig8 data. See EXPERIMENTS.md.
+
+use ft_bench::experiments::fig8;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = fig8::run(scale);
+    fig8::print(&out);
+    if scale.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Extension experiment: hybrid. See EXPERIMENTS.md.
+
+use ft_bench::experiments::hybrid;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = hybrid::run(scale);
+    hybrid::print(&out);
+    if scale.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

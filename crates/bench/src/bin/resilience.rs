@@ -1,0 +1,13 @@
+//! Extension experiment: resilience. See EXPERIMENTS.md.
+
+use ft_bench::experiments::resilience;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = resilience::run(scale);
+    resilience::print(&out);
+    if scale.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's table1 data. See EXPERIMENTS.md.
+
+use ft_bench::experiments::table1;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = table1::run(scale);
+    table1::print(&out);
+    if scale.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

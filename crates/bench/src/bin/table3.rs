@@ -1,0 +1,13 @@
+//! Regenerates the paper's table3 data. See EXPERIMENTS.md.
+
+use ft_bench::experiments::table3;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = table3::run(scale);
+    table3::print(&out);
+    if scale.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 10 — bidirectional core bandwidth on the testbed under live
+//! topology conversion, sampled every 0.5 s over the 5-minute timeline.
+
+use crate::report::{f3, print_table};
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use testbed::iperf::{run as run_iperf, IperfParams, IperfResult};
+use testbed::TestbedRig;
+
+/// The experiment's digest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Digest {
+    /// Full 0.5 s-sampled series `(t, Gbps)`.
+    pub samples: Vec<(f64, f64)>,
+    /// Steady-state Gbps per mode segment.
+    pub steady: Vec<(String, f64)>,
+    /// Core-bandwidth gain of global mode over Clos mode (the paper's
+    /// +27.6 % headline).
+    pub global_gain_pct: f64,
+    /// Seconds to reach 95 % of steady state after each conversion.
+    pub adapt_s: Vec<(String, f64)>,
+}
+
+/// Runs the paper timeline (scale-independent: the testbed is fixed).
+pub fn run(_scale: Scale) -> Digest {
+    let rig = TestbedRig::new();
+    let params = IperfParams::paper_timeline();
+    let res: IperfResult = run_iperf(&rig, &params);
+    let steady: Vec<(String, f64)> = res
+        .steady_gbps
+        .iter()
+        .map(|(m, v)| (format!("{m:?}").to_lowercase(), *v))
+        .collect();
+    let clos = steady
+        .iter()
+        .find(|(m, _)| m == "clos")
+        .map(|&(_, v)| v)
+        .expect("clos segment");
+    let global = steady
+        .iter()
+        .find(|(m, _)| m == "global")
+        .map(|&(_, v)| v)
+        .expect("global segment");
+    Digest {
+        samples: res.samples,
+        steady,
+        global_gain_pct: (global / clos - 1.0) * 100.0,
+        adapt_s: res
+            .adapt_s
+            .iter()
+            .map(|(m, v)| (format!("{m:?}").to_lowercase(), *v))
+            .collect(),
+    }
+}
+
+/// Prints the digest: one row per 10 s of the series, plus summary.
+pub fn print(d: &Digest) {
+    let body: Vec<Vec<String>> = d
+        .samples
+        .iter()
+        .filter(|(t, _)| (t / 0.5).round() as usize % 20 == 0)
+        .map(|&(t, v)| vec![format!("{t:.0}"), f3(v)])
+        .collect();
+    print_table("Figure 10: core bandwidth vs time", &["t (s)", "Gbps"], &body);
+    let rows: Vec<Vec<String>> = d
+        .steady
+        .iter()
+        .zip(&d.adapt_s)
+        .map(|((m, v), (_, a))| vec![m.clone(), f3(*v), f3(*a)])
+        .collect();
+    print_table(
+        "Figure 10 summary (per segment)",
+        &["mode", "steady Gbps", "adapt s"],
+        &rows,
+    );
+    println!(
+        "\nglobal-mode core bandwidth gain over Clos: {:.1}% (paper: +27.6%)",
+        d.global_gain_pct
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 11 — Spark broadcast and Hadoop shuffle read/phase durations
+//! per flat-tree mode on the testbed.
+
+use crate::report::{f3, print_table};
+use crate::Scale;
+use flat_tree::PodMode;
+use serde::{Deserialize, Serialize};
+use testbed::apps::{hadoop_shuffle, spark_broadcast, AppParams, AppReport};
+use testbed::TestbedRig;
+
+/// Reports per application per mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Digest {
+    /// Spark broadcast reports (global, local, clos).
+    pub spark: Vec<AppReport>,
+    /// Hadoop shuffle reports.
+    pub hadoop: Vec<AppReport>,
+}
+
+/// Runs both applications in all three modes.
+pub fn run(_scale: Scale) -> Digest {
+    let rig = TestbedRig::new();
+    let p = AppParams::default_testbed();
+    let modes = [PodMode::Global, PodMode::Local, PodMode::Clos];
+    Digest {
+        spark: modes.iter().map(|&m| spark_broadcast(&rig, m, &p)).collect(),
+        hadoop: modes.iter().map(|&m| hadoop_shuffle(&rig, m, &p)).collect(),
+    }
+}
+
+/// Prints the reports.
+pub fn print(d: &Digest) {
+    for (name, reports) in [("Spark broadcast", &d.spark), ("Hadoop shuffle", &d.hadoop)] {
+        let body: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:?}", r.mode).to_lowercase(),
+                    f3(r.read_time_s),
+                    f3(r.phase_s),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 11: {name}"),
+            &["mode", "data read (s)", "phase duration (s)"],
+            &body,
+        );
+    }
+    let gain = |rs: &[AppReport]| {
+        let clos = rs.iter().find(|r| r.mode == PodMode::Clos).unwrap();
+        let global = rs.iter().find(|r| r.mode == PodMode::Global).unwrap();
+        (
+            (1.0 - global.read_time_s / clos.read_time_s) * 100.0,
+            (1.0 - global.phase_s / clos.phase_s) * 100.0,
+        )
+    };
+    let (sr, sp) = gain(&d.spark);
+    let (hr, hp) = gain(&d.hadoop);
+    println!("\nSpark: global cuts read {sr:.1}%, phase {sp:.1}% (paper: 10%, 16%)");
+    println!("Hadoop: global cuts read {hr:.1}%, phase {hp:.1}% (paper: 10.5%, 8%)");
+}

@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper, plus shared builders.
+
+pub mod ablation;
+pub mod common;
+pub mod hybrid;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod resilience;
+pub mod table1;
+pub mod table3;

@@ -1,0 +1,97 @@
+//! Table 3 — conversion delay breakdown on the testbed, plus the §4.2
+//! network-state analysis and §5.3 rule counts.
+
+use crate::report::{f3, print_table};
+use crate::Scale;
+use control::ConversionReport;
+use flat_tree::{ModeAssignment, PodMode};
+use routing::rules::StateAnalysis;
+use serde::{Deserialize, Serialize};
+use testbed::TestbedRig;
+
+/// Digest of the conversion measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Digest {
+    /// One report per conversion target (global, local, clos), following
+    /// the Figure 10 cycle Clos → global → local → clos.
+    pub conversions: Vec<ConversionReport>,
+    /// Max OpenFlow rules per switch per mode (paper: 242 / 180 / 76 for
+    /// global / local / clos at k = 4 on the testbed).
+    pub max_rules: Vec<(String, usize)>,
+    /// State analysis at the paper's topo-1 scale.
+    pub states: StateAnalysis,
+}
+
+/// Runs the conversion cycle on the testbed.
+pub fn run(_scale: Scale) -> Digest {
+    let rig = TestbedRig::new();
+    let pods = rig.controller.flat_tree().pods();
+    let mut conversions = Vec::new();
+    for mode in [PodMode::Global, PodMode::Local, PodMode::Clos] {
+        conversions.push(
+            rig.controller
+                .convert(&ModeAssignment::uniform(pods, mode)),
+        );
+    }
+    let max_rules = [PodMode::Global, PodMode::Local, PodMode::Clos]
+        .into_iter()
+        .map(|m| {
+            let art = rig
+                .controller
+                .artifacts(&ModeAssignment::uniform(pods, m));
+            (format!("{m:?}").to_lowercase(), art.rules.max_per_switch())
+        })
+        .collect();
+    // §4.2's arithmetic at the paper's topo-1 scale: 4096 servers,
+    // 320 switches, 128 ingress ToRs, k = 8, L ≈ 5, D = 4, 48 ports.
+    let states = StateAnalysis::compute(4096, 320, 128, 8, 5.0, 4, 48);
+    Digest {
+        conversions,
+        max_rules,
+        states,
+    }
+}
+
+/// Prints the digest.
+pub fn print(d: &Digest) {
+    let body: Vec<Vec<String>> = d
+        .conversions
+        .iter()
+        .map(|c| {
+            vec![
+                c.to.clone(),
+                f3(c.ocs_ms),
+                f3(c.delete_ms),
+                f3(c.add_ms),
+                f3(c.total_sequential_ms()),
+                c.crosspoints_changed.to_string(),
+                c.rules_deleted.to_string(),
+                c.rules_added.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3: conversion delay (ms)",
+        &["to", "OCS", "delete", "add", "total", "xpoints", "#del", "#add"],
+        &body,
+    );
+    let rules: Vec<Vec<String>> = d
+        .max_rules
+        .iter()
+        .map(|(m, n)| vec![m.clone(), n.to_string()])
+        .collect();
+    print_table(
+        "Max OpenFlow rules per switch (paper: 242/180/76)",
+        &["mode", "max rules"],
+        &rules,
+    );
+    println!(
+        "\n§4.2 state analysis @ topo-1: naive {:.0}/switch -> switch-level {:.0}/switch \
+         (x{:.0} reduction) -> source-routed {:.0}/ingress + {} static transit rules",
+        d.states.naive_per_switch,
+        d.states.switch_level_per_switch,
+        d.states.aggregation_factor(),
+        d.states.source_routed_per_ingress,
+        d.states.transit_static
+    );
+}

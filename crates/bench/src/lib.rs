@@ -1,0 +1,21 @@
+//! Experiment harness regenerating every table and figure of the
+//! flat-tree paper.
+//!
+//! Each experiment lives in [`experiments`] and is exposed three ways:
+//!
+//! 1. a binary (`cargo run -p ft-bench --release --bin fig8`) printing
+//!    the same rows/series the paper reports (plus JSON with `--json`);
+//! 2. a Criterion bench (`cargo bench -p ft-bench`) timing a scaled-down
+//!    run of the same code path;
+//! 3. a library function, reused by the integration tests.
+//!
+//! All experiments run at a laptop **mini scale** by default (exact
+//! topology ratios, reduced counts) and accept `--full` for the paper's
+//! Table 2 sizes. The mapping from mini to full parameters and the
+//! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,90 @@
+//! Plain-text table / series rendering and small statistics helpers.
+
+/// Prints a header + aligned rows. All columns are strings; numeric
+/// formatting is the caller's choice.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// `p`-th percentile (0..=100) of sorted data.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sorts a copy ascending.
+pub fn sorted(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+/// Five-number summary + mean: (min, p25, median, p75, max, mean).
+pub fn summary(xs: &[f64]) -> (f64, f64, f64, f64, f64, f64) {
+    let s = sorted(xs);
+    (
+        s[0],
+        percentile(&s, 25.0),
+        percentile(&s, 50.0),
+        percentile(&s, 75.0),
+        s[s.len() - 1],
+        mean(&s),
+    )
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_summary() {
+        let xs = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        let s = sorted(&xs);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+        let (min, _, med, _, max, m) = summary(&xs);
+        assert_eq!((min, med, max), (1.0, 3.0, 5.0));
+        assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Experiment scale and CLI options.
+
+use serde::{Deserialize, Serialize};
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Use the paper's full Table 2 sizes instead of the mini scale.
+    pub full: bool,
+    /// RNG seed for workloads and random topologies.
+    pub seed: u64,
+    /// Also emit results as JSON on stdout.
+    pub json: bool,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            full: false,
+            seed: 1,
+            json: false,
+        }
+    }
+}
+
+impl Scale {
+    /// Parses `--full`, `--seed <u64>`, `--json` from process args.
+    pub fn from_args() -> Self {
+        let mut s = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => s.full = true,
+                "--json" => s.json = true,
+                "--seed" => {
+                    i += 1;
+                    s.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a u64");
+                }
+                other => panic!("unknown argument {other}; known: --full --seed <u64> --json"),
+            }
+            i += 1;
+        }
+        s
+    }
+
+    /// A tiny scale for Criterion benches and integration tests.
+    pub fn bench() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,219 @@
+//! The logically centralized network controller.
+//!
+//! "Flat-tree has several operation modes with pre-known topologies,
+//! which designate a fixed set of configurations for the converter
+//! switches. The controller changes the topology by configuring the
+//! converter switches … The converter switch configurations for different
+//! flat-tree modes can be hard-coded into the controller." (§4)
+//!
+//! Accordingly, [`Controller`] precompiles — per mode assignment — the
+//! instantiated graph, the converter configurations, and the OpenFlow
+//! rule set, then executes conversions by diffing the cached artifacts.
+
+use crate::conversion::{ConversionReport, DelayModel};
+use crate::distributed::PerSwitchChurn;
+use flat_tree::{FlatTree, FlatTreeInstance, ModeAssignment, PodMode};
+use parking_lot::RwLock;
+use routing::addressing::TopologyModeId;
+use routing::rules::{compile_ip_rules, RuleSet};
+use std::collections::HashMap;
+
+/// Precompiled artifacts for one mode assignment.
+#[derive(Debug, Clone)]
+pub struct ModeArtifacts {
+    /// The instantiated network.
+    pub instance: FlatTreeInstance,
+    /// The OpenFlow rule set for k-shortest-path routing.
+    pub rules: RuleSet,
+}
+
+/// The centralized controller.
+pub struct Controller {
+    ft: FlatTree,
+    k: usize,
+    delay: DelayModel,
+    cache: RwLock<HashMap<String, ModeArtifacts>>,
+    current: RwLock<ModeAssignment>,
+}
+
+impl Controller {
+    /// Creates a controller managing `ft`, starting in Clos mode, with
+    /// `k` concurrent paths for rule compilation.
+    pub fn new(ft: FlatTree, k: usize, delay: DelayModel) -> Self {
+        let pods = ft.pods();
+        let c = Self {
+            ft,
+            k,
+            delay,
+            cache: RwLock::new(HashMap::new()),
+            current: RwLock::new(ModeAssignment::uniform(pods, PodMode::Clos)),
+        };
+        let initial = c.current.read().clone();
+        c.artifacts(&initial);
+        c
+    }
+
+    /// The managed flat-tree.
+    pub fn flat_tree(&self) -> &FlatTree {
+        &self.ft
+    }
+
+    /// The active mode assignment.
+    pub fn current_assignment(&self) -> ModeAssignment {
+        self.current.read().clone()
+    }
+
+    /// The active network instance.
+    pub fn current_instance(&self) -> FlatTreeInstance {
+        let cur = self.current_assignment();
+        self.artifacts(&cur).instance
+    }
+
+    /// Precompiled artifacts for an assignment (computed on first use,
+    /// "hard-coded into the controller" thereafter).
+    pub fn artifacts(&self, a: &ModeAssignment) -> ModeArtifacts {
+        let key = a.label();
+        if let Some(art) = self.cache.read().get(&key) {
+            return art.clone();
+        }
+        let instance = self.ft.instantiate(a);
+        let mode_tag = match a.uniform_mode() {
+            Some(PodMode::Global) => TopologyModeId::Global,
+            Some(PodMode::Local) => TopologyModeId::Local,
+            Some(PodMode::Clos) | None => TopologyModeId::Clos,
+        };
+        let rules = compile_ip_rules(&instance.net.graph, self.k, mode_tag);
+        let art = ModeArtifacts { instance, rules };
+        self.cache.write().insert(key, art.clone());
+        art
+    }
+
+    /// Converts the network to a new assignment, returning the delay
+    /// breakdown. The conversion pipeline is the testbed's (§5.3):
+    /// reconfigure the OCS partitions, delete stale rules, add new rules.
+    pub fn convert(&self, to: &ModeAssignment) -> ConversionReport {
+        let from = self.current_assignment();
+        let old = self.artifacts(&from);
+        let new = self.artifacts(to);
+        let crosspoints = old
+            .instance
+            .configs
+            .iter()
+            .zip(&new.instance.configs)
+            .filter(|(a, b)| a != b)
+            .count();
+        let diff = old.rules.diff(&new.rules);
+        *self.current.write() = to.clone();
+        ConversionReport {
+            from: from.label(),
+            to: to.label(),
+            crosspoints_changed: crosspoints,
+            rules_deleted: diff.deletes,
+            rules_added: diff.adds,
+            ocs_ms: if crosspoints > 0 { self.delay.ocs_ms } else { 0.0 },
+            delete_ms: diff.deletes as f64 * self.delay.per_rule_delete_ms,
+            add_ms: diff.adds as f64 * self.delay.per_rule_add_ms,
+        }
+    }
+
+    /// Per-switch churn of a hypothetical conversion, for the §4.3
+    /// distributed-controller estimates.
+    pub fn churn(&self, from: &ModeAssignment, to: &ModeAssignment) -> PerSwitchChurn {
+        let old = self.artifacts(from);
+        let new = self.artifacts(to);
+        PerSwitchChurn {
+            per_switch: old
+                .rules
+                .diff_per_switch(&new.rules)
+                .into_iter()
+                .map(|(_, d, a)| (d, a))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_tree::FlatTreeParams;
+    use topology::ClosParams;
+
+    fn controller() -> Controller {
+        let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+        Controller::new(ft, 2, DelayModel::testbed())
+    }
+
+    #[test]
+    fn starts_in_clos_mode() {
+        let c = controller();
+        assert_eq!(c.current_assignment().label(), "clos");
+        let inst = c.current_instance();
+        // Clos mode: all servers on edges.
+        let counts = netgraph::metrics::attached_server_counts(
+            &inst.net.graph,
+            netgraph::NodeKind::EdgeSwitch,
+        );
+        assert_eq!(counts.iter().map(|&(_, n)| n).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn conversion_reports_crosspoints_and_rules() {
+        let c = controller();
+        let to = ModeAssignment::uniform(4, PodMode::Global);
+        let r = c.convert(&to);
+        assert_eq!(r.from, "clos");
+        assert_eq!(r.to, "global");
+        // mini: every converter changes config going Clos -> Global.
+        assert_eq!(r.crosspoints_changed, 32);
+        assert!(r.rules_deleted > 0 && r.rules_added > 0);
+        assert!((r.ocs_ms - 160.0).abs() < 1e-9);
+        assert!(r.total_sequential_ms() > r.total_parallel_ms() - 1e-9);
+        assert_eq!(c.current_assignment().label(), "global");
+    }
+
+    #[test]
+    fn null_conversion_is_free() {
+        let c = controller();
+        let stay = ModeAssignment::uniform(4, PodMode::Clos);
+        let r = c.convert(&stay);
+        assert_eq!(r.crosspoints_changed, 0);
+        assert_eq!(r.rules_deleted + r.rules_added, 0);
+        assert_eq!(r.total_sequential_ms(), 0.0);
+    }
+
+    #[test]
+    fn hybrid_conversion_touches_only_changed_pods() {
+        let c = controller();
+        let hybrid = ModeAssignment::hybrid(vec![
+            PodMode::Global,
+            PodMode::Clos,
+            PodMode::Clos,
+            PodMode::Clos,
+        ]);
+        let r = c.convert(&hybrid);
+        // Only pod 0's 8 converters change.
+        assert_eq!(r.crosspoints_changed, 8);
+    }
+
+    #[test]
+    fn distributed_controllers_shrink_latency() {
+        let c = controller();
+        let from = ModeAssignment::uniform(4, PodMode::Clos);
+        let to = ModeAssignment::uniform(4, PodMode::Global);
+        let churn = c.churn(&from, &to);
+        let one = churn.sharded_latency_ms(1, 1.0);
+        let four = churn.sharded_latency_ms(4, 1.0);
+        assert!(four < one);
+        assert!(churn.per_switch_agent_latency_ms(1.0) <= four + 1e-9);
+    }
+
+    #[test]
+    fn artifacts_are_cached() {
+        let c = controller();
+        let to = ModeAssignment::uniform(4, PodMode::Global);
+        let a = c.artifacts(&to);
+        let b = c.artifacts(&to);
+        assert_eq!(a.rules, b.rules);
+        assert_eq!(c.cache.read().len(), 2); // clos + global
+    }
+}

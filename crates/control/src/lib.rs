@@ -1,0 +1,25 @@
+//! The flat-tree control system (§4).
+//!
+//! A data center is administered by a single authority, so the paper uses
+//! a logically centralized controller that (a) programs the converter
+//! switches to realize a topology mode and (b) swaps the OpenFlow routing
+//! state for the k-shortest paths of the new topology. Both actions have
+//! measurable delay — Table 3 breaks a conversion into *configure OCS*,
+//! *delete rules*, and *add rules* — and this crate reproduces that
+//! arithmetic from first principles:
+//!
+//! * [`Controller`] holds the flat-tree, precompiles per-mode instances
+//!   and rule sets, and executes conversions, returning a
+//!   [`conversion::ConversionReport`] with the full delay breakdown;
+//! * [`conversion::DelayModel`] captures the testbed's constants (160 ms
+//!   OCS reconfiguration, ~1 ms per OpenFlow rule update, §4.3/§5.3) and
+//!   also reports the parallelized variant the paper says is easy;
+//! * [`distributed`] models the §4.3 scaling options: sharding the rule
+//!   push over multiple controllers and precomputing paths.
+
+pub mod controller;
+pub mod conversion;
+pub mod distributed;
+
+pub use controller::Controller;
+pub use conversion::{ConversionReport, DelayModel};

@@ -1,0 +1,168 @@
+//! Property tests for the flat-tree architecture.
+//!
+//! Randomized over feasible (pods, d, a, s, ue, h, m, n) layouts, these
+//! check the §3.1–§3.5 invariants: conservation of devices and ports
+//! across conversion, server-distribution rules per mode, and the §3.3
+//! column-shift bijection.
+
+use flat_tree::{FlatTree, FlatTreeParams, ModeAssignment, PodMode, WiringPattern};
+use netgraph::{metrics, NodeKind};
+use proptest::prelude::*;
+use topology::ClosParams;
+
+/// Strategy: feasible flat-tree parameters, small enough to build fast.
+fn params() -> impl Strategy<Value = FlatTreeParams> {
+    (
+        2usize..6,        // pods
+        1usize..4,        // half-d (d = 2 * half)
+        prop::sample::select(vec![1usize, 2]), // r
+        1usize..5,        // servers_per_edge extra beyond m+n
+        1usize..4,        // h/r
+        0usize..3,        // m
+        0usize..3,        // n
+        prop::bool::ANY,  // wrap
+        prop::bool::ANY,  // pattern 2?
+    )
+        .prop_filter_map(
+            "infeasible",
+            |(pods, half, r, extra_servers, gs, m, n, wrap, p2)| {
+                let d = 2 * half;
+                if d % r != 0 {
+                    return None;
+                }
+                let a = d / r;
+                if m + n == 0 || m >= gs || m + n > gs {
+                    return None;
+                }
+                let h = gs * r;
+                let s = m + n + extra_servers;
+                let clos = ClosParams {
+                    pods,
+                    edges_per_pod: d,
+                    aggs_per_pod: a,
+                    servers_per_edge: s,
+                    edge_uplinks: a, // one uplink per (edge, agg) pair
+                    agg_uplinks: h,
+                    num_cores: a * h, // one core link per pod per core
+                    link_gbps: 10.0,
+                };
+                let mut p = FlatTreeParams::new(clos, m, n);
+                p.wrap_side_links = wrap;
+                p.wiring = if p2 {
+                    WiringPattern::Pattern2
+                } else {
+                    WiringPattern::Pattern1
+                };
+                p.validate().ok()?;
+                Some(p)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Port budget (sum of capacity over all links) is invariant across
+    /// Clos, local, and global modes: conversion re-purposes cables, it
+    /// never adds or removes bandwidth.
+    #[test]
+    fn conversion_conserves_ports(p in params()) {
+        let ft = FlatTree::new(p).unwrap();
+        let total = |mode: PodMode| -> f64 {
+            let inst = ft.instantiate(&ModeAssignment::uniform(p.clos.pods, mode));
+            inst.net.graph.link_ids()
+                .map(|l| inst.net.graph.link(l).capacity_gbps)
+                .sum()
+        };
+        let clos = total(PodMode::Clos);
+        let local = total(PodMode::Local);
+        let global = total(PodMode::Global);
+        prop_assert!((clos - local).abs() < 1e-6, "clos {} vs local {}", clos, local);
+        // Global mode may dark a side bundle only if wrap is off; with the
+        // ring every cable is reused.
+        if p.wrap_side_links {
+            prop_assert!((clos - global).abs() < 1e-6, "clos {} vs global {}", clos, global);
+        } else {
+            prop_assert!(global <= clos + 1e-6);
+        }
+    }
+
+    /// Every instance keeps all servers attached exactly once and fully
+    /// connected; node ids never change across modes.
+    #[test]
+    fn instances_valid_and_ids_stable(p in params()) {
+        let ft = FlatTree::new(p).unwrap();
+        let insts: Vec<_> = [PodMode::Clos, PodMode::Local, PodMode::Global]
+            .into_iter()
+            .map(|m| ft.instantiate(&ModeAssignment::uniform(p.clos.pods, m)))
+            .collect();
+        for inst in &insts {
+            prop_assert!(inst.net.validate().is_ok());
+            for &s in &inst.net.servers {
+                prop_assert_eq!(inst.net.graph.neighbors(s).len(), 1);
+            }
+        }
+        prop_assert_eq!(&insts[0].net.servers, &insts[1].net.servers);
+        prop_assert_eq!(&insts[0].net.servers, &insts[2].net.servers);
+        prop_assert_eq!(&insts[0].cores, &insts[2].cores);
+    }
+
+    /// Server distribution per mode follows §3.5: Clos keeps everything on
+    /// edges; local mode keeps cores empty and relocates ~half; global
+    /// relocates blade-B servers to cores and blade-A servers to aggs.
+    #[test]
+    fn server_distribution_rules(p in params()) {
+        let ft = FlatTree::new(p).unwrap();
+        let count = |inst: &flat_tree::FlatTreeInstance, kind: NodeKind| -> usize {
+            metrics::attached_server_counts(&inst.net.graph, kind)
+                .iter().map(|&(_, c)| c).sum()
+        };
+        let total = p.clos.total_servers();
+        let per_edge = p.clos.pods * p.clos.edges_per_pod;
+
+        let clos = ft.instantiate(&ModeAssignment::uniform(p.clos.pods, PodMode::Clos));
+        prop_assert_eq!(count(&clos, NodeKind::EdgeSwitch), total);
+
+        let local = ft.instantiate(&ModeAssignment::uniform(p.clos.pods, PodMode::Local));
+        prop_assert_eq!(count(&local, NodeKind::CoreSwitch), 0);
+        let relocated = count(&local, NodeKind::AggSwitch);
+        let expect = per_edge
+            * (p.n + flat_tree::modes::local_mode_sixport_locals(&ft.layout));
+        prop_assert_eq!(relocated, expect);
+
+        let global = ft.instantiate(&ModeAssignment::uniform(p.clos.pods, PodMode::Global));
+        prop_assert_eq!(count(&global, NodeKind::CoreSwitch), per_edge * p.m);
+        prop_assert_eq!(count(&global, NodeKind::AggSwitch), per_edge * p.n);
+        prop_assert_eq!(
+            count(&global, NodeKind::EdgeSwitch),
+            total - per_edge * (p.m + p.n)
+        );
+    }
+
+    /// Hybrid assignments only re-wire the pods they name: a Clos pod's
+    /// servers stay on edge switches even when neighbors go global.
+    #[test]
+    fn hybrid_isolation(p in params()) {
+        prop_assume!(p.clos.pods >= 3);
+        let ft = FlatTree::new(p).unwrap();
+        let mut modes = vec![PodMode::Global; p.clos.pods];
+        modes[1] = PodMode::Clos;
+        let inst = ft.instantiate(&ModeAssignment::hybrid(modes));
+        prop_assert!(inst.net.validate().is_ok());
+        for &s in &inst.net.pod_servers[1] {
+            let sw = inst.net.graph.server_uplink_switch(s).unwrap();
+            prop_assert_eq!(inst.net.graph.node(sw).kind, NodeKind::EdgeSwitch);
+        }
+    }
+
+    /// §3.3 shift is a bijection between left and right columns per row.
+    #[test]
+    fn side_shift_bijection(half in 1usize..32, row in 0usize..16) {
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..half {
+            let c = flat_tree::interpod::side_peer_column(row, j, half);
+            prop_assert!(c < half);
+            prop_assert!(seen.insert(c));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Rate allocation for one simulation instant.
+//!
+//! Thin wrapper over [`mcf::maxmin::weighted_max_min`] that builds the
+//! per-subflow entity list from connection path sets and folds subflow
+//! rates back into per-connection rates.
+
+use mcf::maxmin::{weighted_max_min, Entity};
+use netgraph::Path;
+
+/// One active connection's path set and fairness weight model.
+#[derive(Debug, Clone)]
+pub struct ConnPaths {
+    /// The subflow paths (1 for TCP, up to k for MPTCP).
+    pub paths: Vec<Path>,
+    /// Weight per subflow (1.0 uncoupled, 1/k coupled).
+    pub subflow_weight: f64,
+}
+
+/// Computes per-connection rates (Gbps) under max-min fairness.
+///
+/// `capacity[l]` indexes directed links by `LinkId::idx()`.
+pub fn connection_rates(capacity: &[f64], conns: &[ConnPaths]) -> Vec<f64> {
+    let mut entities = Vec::new();
+    let mut owner = Vec::new();
+    for (ci, c) in conns.iter().enumerate() {
+        for p in &c.paths {
+            entities.push(Entity {
+                weight: c.subflow_weight,
+                links: p.links.iter().map(|l| l.idx()).collect(),
+            });
+            owner.push(ci);
+        }
+    }
+    let sub_rates = weighted_max_min(capacity, &entities);
+    let mut rates = vec![0.0; conns.len()];
+    for (r, &ci) in sub_rates.iter().zip(&owner) {
+        rates[ci] += r;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{Graph, NodeKind};
+
+    /// Two disjoint 10G paths; MPTCP uses both, TCP only one.
+    fn two_path_net() -> (Graph, Vec<Path>) {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        let x = g.add_node(NodeKind::GenericSwitch, "x");
+        let y = g.add_node(NodeKind::GenericSwitch, "y");
+        let s = g.add_node(NodeKind::Server, "s");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, a, 40.0);
+        g.add_duplex_link(a, x, 10.0);
+        g.add_duplex_link(a, y, 10.0);
+        g.add_duplex_link(x, b, 10.0);
+        g.add_duplex_link(y, b, 10.0);
+        g.add_duplex_link(b, t, 40.0);
+        let p1 = Path::from_nodes(&g, &[s, a, x, b, t]).unwrap();
+        let p2 = Path::from_nodes(&g, &[s, a, y, b, t]).unwrap();
+        (g, vec![p1, p2])
+    }
+
+    fn caps(g: &Graph) -> Vec<f64> {
+        g.link_ids().map(|l| g.link(l).capacity_gbps).collect()
+    }
+
+    #[test]
+    fn mptcp_fills_disjoint_paths_even_when_coupled() {
+        let (g, paths) = two_path_net();
+        let conns = vec![ConnPaths {
+            paths,
+            subflow_weight: 0.5, // coupled, k = 2
+        }];
+        let rates = connection_rates(&caps(&g), &conns);
+        assert!((rates[0] - 20.0).abs() < 1e-9, "got {}", rates[0]);
+    }
+
+    #[test]
+    fn coupled_mptcp_takes_one_share_at_shared_bottleneck() {
+        // MPTCP (2 subflows over the same pair of paths) vs two TCP flows
+        // each pinned to one path: coupled weights give each path
+        // TCP 2/3... with weight 1/2 vs 1: shares are 10*(1/1.5) etc.
+        let (g, paths) = two_path_net();
+        let conns = vec![
+            ConnPaths { paths: paths.clone(), subflow_weight: 0.5 },
+            ConnPaths { paths: vec![paths[0].clone()], subflow_weight: 1.0 },
+            ConnPaths { paths: vec![paths[1].clone()], subflow_weight: 1.0 },
+        ];
+        let rates = connection_rates(&caps(&g), &conns);
+        // Each 10G path splits 1:0.5 between TCP and the MPTCP subflow.
+        assert!((rates[1] - 20.0 / 3.0).abs() < 1e-6, "tcp got {}", rates[1]);
+        assert!((rates[2] - 20.0 / 3.0).abs() < 1e-6);
+        assert!((rates[0] - 2.0 * 10.0 / 3.0).abs() < 1e-6, "mptcp got {}", rates[0]);
+        // Uncoupled would have grabbed half of each path.
+        let conns_unc = vec![
+            ConnPaths { paths: paths.clone(), subflow_weight: 1.0 },
+            ConnPaths { paths: vec![paths[0].clone()], subflow_weight: 1.0 },
+            ConnPaths { paths: vec![paths[1].clone()], subflow_weight: 1.0 },
+        ];
+        let r2 = connection_rates(&caps(&g), &conns_unc);
+        assert!(r2[0] > rates[0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (g, _) = two_path_net();
+        assert!(connection_rates(&caps(&g), &[]).is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event **fluid** flow simulator.
+//!
+//! The paper evaluates transmission performance with the htsim MPTCP
+//! packet simulator. Packet simulation at data center scale is expensive
+//! and its artifacts (RTT, window dynamics) are not what the paper's
+//! comparisons hinge on; we use the standard fluid abstraction instead:
+//! at every flow arrival or completion, link bandwidth is re-divided
+//! among the active flows by (weighted) **max-min fairness** — the
+//! allocation long-lived TCP converges to — and flows drain their
+//! remaining bytes at the allocated rate until the next event.
+//!
+//! Transport models:
+//!
+//! * [`Transport::TcpEcmp`] — one path per flow, chosen by a
+//!   deterministic header hash among the equal-cost shortest paths (the
+//!   Clos baseline of §5.2). Weight 1.
+//! * [`Transport::Mptcp`] — k subflows over the k-shortest paths
+//!   (§4.1/§4.2). `coupled` (default, approximating LIA) gives each
+//!   subflow weight `1/k`, so a connection takes a single fair share at a
+//!   shared bottleneck but still fills disjoint paths; uncoupled gives
+//!   every subflow full weight.
+//!
+//! Failure injection: timed link failures drop the affected subflows and
+//! re-route connections over the surviving k-shortest paths, exercising
+//! the §4.2.1 footnote's resilience claim.
+
+pub mod alloc;
+pub mod sim;
+
+pub use sim::{simulate, FlowRecord, FlowSpec, LinkFailure, SimConfig, SimResult, Transport};

@@ -1,0 +1,512 @@
+//! The discrete-event simulation loop.
+
+use crate::alloc::{connection_rates, ConnPaths};
+use netgraph::{ecmp, yen, Graph, LinkId, NodeId};
+use routing::RouteTable;
+use serde::{Deserialize, Serialize};
+
+/// Bytes below which a flow counts as finished (flows are KB-scale+).
+const DONE_BYTES: f64 = 1e-3;
+/// Gbps below which a flow is considered stalled.
+const STALL_RATE: f64 = 1e-12;
+/// Gbps → bytes/second.
+const GBPS_TO_BPS: f64 = 1e9 / 8.0;
+
+/// A flow to simulate, endpoints already bound to graph nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Caller-chosen id, reported back in [`FlowRecord`].
+    pub id: u64,
+    /// Source server node.
+    pub src: NodeId,
+    /// Destination server node.
+    pub dst: NodeId,
+    /// Size in bytes.
+    pub bytes: f64,
+    /// Arrival time in seconds.
+    pub start: f64,
+}
+
+/// Transport / routing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Transport {
+    /// Single-path TCP; the path is hashed among equal-cost shortest
+    /// paths (the Clos ECMP baseline).
+    TcpEcmp,
+    /// MPTCP over the k-shortest paths.
+    Mptcp {
+        /// Number of concurrent paths.
+        k: usize,
+        /// `true` models LIA-style coupling (subflow weight 1/k).
+        coupled: bool,
+    },
+}
+
+impl Transport {
+    /// The paper's main configuration: 8-path coupled MPTCP.
+    pub fn mptcp8() -> Self {
+        Transport::Mptcp { k: 8, coupled: true }
+    }
+}
+
+/// A timed link failure (the cable is cut: both directions die).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFailure {
+    /// Failure time in seconds.
+    pub time: f64,
+    /// Either direction of the failed cable.
+    pub link: LinkId,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Transport model.
+    pub transport: Transport,
+    /// Timed link failures.
+    pub link_failures: Vec<LinkFailure>,
+    /// Record the total-goodput time series (one point per event).
+    pub record_series: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            transport: Transport::mptcp8(),
+            link_failures: Vec::new(),
+            record_series: false,
+        }
+    }
+}
+
+/// Per-flow outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// The spec's id.
+    pub id: u64,
+    /// Arrival time.
+    pub start: f64,
+    /// Completion time; `None` if the flow never finished (stall after an
+    /// unrecoverable failure).
+    pub finish: Option<f64>,
+    /// Flow size in bytes.
+    pub bytes: f64,
+}
+
+impl FlowRecord {
+    /// Flow completion time in seconds, if completed.
+    pub fn fct(&self) -> Option<f64> {
+        self.finish.map(|f| f - self.start)
+    }
+
+    /// Average goodput in Gbps over the flow's lifetime, if completed.
+    pub fn avg_rate_gbps(&self) -> Option<f64> {
+        self.fct()
+            .filter(|&d| d > 0.0)
+            .map(|d| self.bytes / d / GBPS_TO_BPS)
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// One record per input flow, in input order.
+    pub records: Vec<FlowRecord>,
+    /// `(time, total goodput in Gbps)` after each event, when enabled.
+    pub series: Vec<(f64, f64)>,
+    /// Time of the last processed event.
+    pub end_time: f64,
+}
+
+impl SimResult {
+    /// Completed FCTs in seconds, sorted ascending (CDF material).
+    pub fn sorted_fcts(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.fct()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Mean FCT over completed flows.
+    pub fn mean_fct(&self) -> Option<f64> {
+        let v = self.sorted_fcts();
+        (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// Mean per-flow average goodput (Gbps) over completed flows.
+    pub fn mean_rate_gbps(&self) -> Option<f64> {
+        let v: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.avg_rate_gbps())
+            .collect();
+        (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+struct Active {
+    rec_idx: usize,
+    spec: FlowSpec,
+    remaining: f64,
+    conn: ConnPaths,
+}
+
+/// Runs the fluid simulation.
+///
+/// Flows may arrive in any order (sorted internally). Unroutable flows
+/// (disconnected endpoints) are recorded as never finishing.
+pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
+    let mut caps: Vec<f64> = g.link_ids().map(|l| g.link(l).capacity_gbps).collect();
+    let k = match cfg.transport {
+        Transport::TcpEcmp => 1,
+        Transport::Mptcp { k, .. } => k,
+    };
+    let mut rt = RouteTable::new(k.max(1));
+
+    // Records in input order; simulation works on a start-sorted index.
+    let mut records: Vec<FlowRecord> = flows
+        .iter()
+        .map(|f| FlowRecord {
+            id: f.id,
+            start: f.start,
+            finish: None,
+            bytes: f.bytes,
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by(|&a, &b| {
+        flows[a]
+            .start
+            .partial_cmp(&flows[b].start)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut failures = cfg.link_failures.clone();
+    failures.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    let mut failed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+
+    let mut next_arrival = 0usize;
+    let mut next_failure = 0usize;
+    let mut active: Vec<Active> = Vec::new();
+    let mut series = Vec::new();
+    let mut t = 0.0f64;
+
+    let route = |rt: &mut RouteTable, failed: &std::collections::HashSet<usize>, spec: &FlowSpec| -> Option<ConnPaths> {
+        match cfg.transport {
+            Transport::TcpEcmp => {
+                let all = ecmp::equal_cost_paths(g, spec.src, spec.dst);
+                let alive: Vec<netgraph::Path> = all
+                    .into_iter()
+                    .filter(|p| p.links.iter().all(|l| !failed.contains(&l.idx())))
+                    .collect();
+                let path = match ecmp::select_by_hash(&alive, spec.src, spec.dst, spec.id) {
+                    Some(p) => p.clone(),
+                    None => {
+                        // Equal-cost set fully failed: any surviving path.
+                        netgraph::dijkstra::shortest_path_by(g, spec.src, spec.dst, |l| {
+                            if failed.contains(&l.idx()) {
+                                f64::INFINITY
+                            } else {
+                                1.0
+                            }
+                        })
+                        .map(|(_, p)| p)?
+                    }
+                };
+                Some(ConnPaths {
+                    paths: vec![path],
+                    subflow_weight: 1.0,
+                })
+            }
+            Transport::Mptcp { k, coupled } => {
+                let paths: Vec<netgraph::Path> = if failed.is_empty() {
+                    rt.server_paths(g, spec.src, spec.dst)
+                } else {
+                    yen::k_shortest_paths_by(g, spec.src, spec.dst, k, |l| {
+                        if failed.contains(&l.idx()) {
+                            f64::INFINITY
+                        } else {
+                            1.0
+                        }
+                    })
+                };
+                if paths.is_empty() {
+                    return None;
+                }
+                let weight = if coupled { 1.0 / paths.len() as f64 } else { 1.0 };
+                Some(ConnPaths {
+                    paths,
+                    subflow_weight: weight,
+                })
+            }
+        }
+    };
+
+    loop {
+        // Allocate under the current active set.
+        let conns: Vec<ConnPaths> = active.iter().map(|a| a.conn.clone()).collect();
+        let rates = connection_rates(&caps, &conns);
+        if cfg.record_series {
+            series.push((t, rates.iter().sum()));
+        }
+
+        // Next event time.
+        let t_arr = (next_arrival < order.len()).then(|| flows[order[next_arrival]].start);
+        let t_fail = (next_failure < failures.len()).then(|| failures[next_failure].time);
+        let t_fin = active
+            .iter()
+            .zip(&rates)
+            .filter(|(_, &r)| r > STALL_RATE)
+            .map(|(a, &r)| t + a.remaining / (r * GBPS_TO_BPS))
+            .fold(None::<f64>, |acc, x| {
+                Some(acc.map_or(x, |a| a.min(x)))
+            });
+        let candidates = [t_arr, t_fail, t_fin];
+        let Some(t_next) = candidates.iter().flatten().fold(None::<f64>, |acc, &x| {
+            Some(acc.map_or(x, |a| a.min(x)))
+        }) else {
+            // No events left; anything still active is stalled forever.
+            break;
+        };
+        let t_next = t_next.max(t);
+
+        // Drain bytes until t_next.
+        let dt = t_next - t;
+        for (a, &r) in active.iter_mut().zip(&rates) {
+            a.remaining -= r * GBPS_TO_BPS * dt;
+        }
+        t = t_next;
+
+        // Completions.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].remaining <= DONE_BYTES {
+                records[active[i].rec_idx].finish = Some(t);
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Arrivals.
+        while next_arrival < order.len() && flows[order[next_arrival]].start <= t + 1e-15 {
+            let idx = order[next_arrival];
+            next_arrival += 1;
+            let spec = flows[idx];
+            assert_ne!(spec.src, spec.dst, "self-flow {}", spec.id);
+            assert!(spec.bytes > 0.0, "empty flow {}", spec.id);
+            match route(&mut rt, &failed, &spec) {
+                Some(conn) => active.push(Active {
+                    rec_idx: idx,
+                    spec,
+                    remaining: spec.bytes,
+                    conn,
+                }),
+                None => { /* unroutable: record stays unfinished */ }
+            }
+        }
+        // Failures.
+        let mut failed_now = false;
+        while next_failure < failures.len() && failures[next_failure].time <= t + 1e-15 {
+            let f = failures[next_failure];
+            next_failure += 1;
+            failed.insert(f.link.idx());
+            caps[f.link.idx()] = 0.0;
+            if let Some(rev) = g.link(f.link).reverse {
+                failed.insert(rev.idx());
+                caps[rev.idx()] = 0.0;
+            }
+            failed_now = true;
+        }
+        if failed_now {
+            // Re-route connections that lost a subflow.
+            for a in active.iter_mut() {
+                let hit = a
+                    .conn
+                    .paths
+                    .iter()
+                    .any(|p| p.links.iter().any(|l| failed.contains(&l.idx())));
+                if hit {
+                    if let Some(conn) = route(&mut rt, &failed, &a.spec) {
+                        a.conn = conn;
+                    } else {
+                        // Keep only surviving subflows (possibly none).
+                        a.conn.paths.retain(|p| {
+                            p.links.iter().all(|l| !failed.contains(&l.idx()))
+                        });
+                    }
+                }
+            }
+            active.retain(|a| {
+                if a.conn.paths.is_empty() {
+                    // Permanently stalled; finish stays None.
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    SimResult {
+        records,
+        series,
+        end_time: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{Graph, NodeKind};
+
+    /// Two racks joined by one 10G core link; 2 servers per rack.
+    fn dumbbell() -> (Graph, Vec<NodeId>, LinkId) {
+        let mut g = Graph::new();
+        let e0 = g.add_node(NodeKind::EdgeSwitch, "e0");
+        let e1 = g.add_node(NodeKind::EdgeSwitch, "e1");
+        let (core, _) = g.add_duplex_link(e0, e1, 10.0);
+        let mut servers = Vec::new();
+        for (i, &e) in [e0, e0, e1, e1].iter().enumerate() {
+            let s = g.add_node(NodeKind::Server, format!("s{i}"));
+            g.add_duplex_link(s, e, 10.0);
+            servers.push(s);
+        }
+        (g, servers, core)
+    }
+
+    fn spec(id: u64, src: NodeId, dst: NodeId, bytes: f64, start: f64) -> FlowSpec {
+        FlowSpec { id, src, dst, bytes, start }
+    }
+
+    #[test]
+    fn single_flow_fct_is_exact() {
+        let (g, s, _) = dumbbell();
+        // 10 Gbps end to end; 1.25 GB takes exactly 1 s.
+        let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.0)];
+        let res = simulate(&g, &flows, &SimConfig::default());
+        let fct = res.records[0].fct().unwrap();
+        assert!((fct - 1.0).abs() < 1e-9, "fct = {fct}");
+        assert!((res.records[0].avg_rate_gbps().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let (g, s, _) = dumbbell();
+        // Both cross the 10G core: share 5 Gbps each; the small one
+        // finishes at 1 s, then the big one speeds up to 10.
+        let flows = vec![
+            spec(0, s[0], s[2], 0.625e9, 0.0), // 5 Gb at 5 Gbps -> 1 s
+            spec(1, s[1], s[3], 1.25e9, 0.0),
+        ];
+        let res = simulate(&g, &flows, &SimConfig::default());
+        let f0 = res.records[0].fct().unwrap();
+        let f1 = res.records[1].fct().unwrap();
+        assert!((f0 - 1.0).abs() < 1e-9, "f0 = {f0}");
+        // Big flow: 5 Gbps for 1 s (0.625 GB done), then 10 Gbps for the
+        // remaining 0.625 GB -> 0.5 s more.
+        assert!((f1 - 1.5).abs() < 1e-9, "f1 = {f1}");
+    }
+
+    #[test]
+    fn staggered_arrivals() {
+        let (g, s, _) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0),
+            spec(1, s[1], s[3], 1.25e9, 0.5),
+        ];
+        let res = simulate(&g, &flows, &SimConfig::default());
+        // Flow 0: 10G for 0.5 s (half done), then 5G until done:
+        // remaining 0.625 GB at 5 Gbps = 1 s -> finish 1.5.
+        assert!((res.records[0].fct().unwrap() - 1.5).abs() < 1e-9);
+        // Flow 1: 5G from 0.5 to 1.5 (0.625 GB), then 10G for the rest:
+        // finish at 2.0, fct 1.5.
+        assert!((res.records[1].fct().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_rack_avoids_core() {
+        let (g, s, _) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[1], 1.25e9, 0.0), // same rack
+            spec(1, s[2], s[3], 1.25e9, 0.0), // same rack
+        ];
+        let res = simulate(&g, &flows, &SimConfig::default());
+        for r in &res.records {
+            assert!((r.fct().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn link_failure_stalls_when_no_alternative() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.0)];
+        let cfg = SimConfig {
+            link_failures: vec![LinkFailure { time: 0.5, link: core }],
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &flows, &cfg);
+        assert_eq!(res.records[0].finish, None, "must stall: only path died");
+    }
+
+    /// Diamond with two disjoint switch paths: failure reroutes.
+    #[test]
+    fn link_failure_reroutes_over_survivor() {
+        let mut g = Graph::new();
+        let e0 = g.add_node(NodeKind::EdgeSwitch, "e0");
+        let e1 = g.add_node(NodeKind::EdgeSwitch, "e1");
+        let x = g.add_node(NodeKind::CoreSwitch, "x");
+        let y = g.add_node(NodeKind::CoreSwitch, "y");
+        let (via_x, _) = g.add_duplex_link(e0, x, 10.0);
+        g.add_duplex_link(x, e1, 10.0);
+        g.add_duplex_link(e0, y, 10.0);
+        g.add_duplex_link(y, e1, 10.0);
+        let s0 = g.add_node(NodeKind::Server, "s0");
+        let s1 = g.add_node(NodeKind::Server, "s1");
+        g.add_duplex_link(s0, e0, 10.0);
+        g.add_duplex_link(s1, e1, 10.0);
+        let flows = vec![spec(0, s0, s1, 1.25e9, 0.0)];
+        let cfg = SimConfig {
+            transport: Transport::Mptcp { k: 2, coupled: true },
+            link_failures: vec![LinkFailure { time: 0.5, link: via_x }],
+            record_series: false,
+        };
+        let res = simulate(&g, &flows, &cfg);
+        // NIC-limited to 10G throughout (both paths before, one after);
+        // completion at 1 s regardless of the failure.
+        let fct = res.records[0].fct().expect("must finish via y");
+        assert!((fct - 1.0).abs() < 1e-6, "fct = {fct}");
+    }
+
+    #[test]
+    fn ecmp_and_mptcp_agree_on_single_path_topology() {
+        let (g, s, _) = dumbbell();
+        let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.0)];
+        for transport in [Transport::TcpEcmp, Transport::mptcp8()] {
+            let res = simulate(
+                &g,
+                &flows,
+                &SimConfig { transport, ..SimConfig::default() },
+            );
+            assert!((res.records[0].fct().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_records_goodput_steps() {
+        let (g, s, _) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0),
+            spec(1, s[1], s[3], 1.25e9, 0.0),
+        ];
+        let cfg = SimConfig {
+            record_series: true,
+            ..SimConfig::default()
+        };
+        let res = simulate(&g, &flows, &cfg);
+        assert!(!res.series.is_empty());
+        // The point at t=0 before arrivals carries 0; once both flows are
+        // active the total goodput steps to the 10 G core capacity.
+        let peak = res.series.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+        assert!((peak - 10.0).abs() < 1e-9, "peak {peak}");
+        assert!(res.end_time > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the fluid simulator.
+
+use flowsim::{simulate, FlowSpec, SimConfig, Transport};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use topology::ClosParams;
+
+fn mini_net() -> topology::DcNetwork {
+    ClosParams::mini().build().net
+}
+
+fn random_flows(n_servers: usize, n_flows: usize, seed: u64) -> Vec<(usize, usize, f64, f64)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n_flows)
+        .map(|_| {
+            let src = rng.gen_range(0..n_servers);
+            let mut dst = rng.gen_range(0..n_servers);
+            while dst == src {
+                dst = rng.gen_range(0..n_servers);
+            }
+            (
+                src,
+                dst,
+                rng.gen_range(1e5..5e8),
+                rng.gen_range(0.0..0.5),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// In a connected, failure-free network every flow completes, and no
+    /// flow beats the physical lower bound bytes / NIC-rate.
+    #[test]
+    fn all_flows_complete_with_physical_fcts(
+        n_flows in 1usize..24,
+        seed in any::<u64>(),
+        mptcp in prop::bool::ANY,
+    ) {
+        let net = mini_net();
+        let flows: Vec<FlowSpec> = random_flows(net.servers.len(), n_flows, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, d, bytes, start))| FlowSpec {
+                id: i as u64,
+                src: net.servers[s],
+                dst: net.servers[d],
+                bytes,
+                start,
+            })
+            .collect();
+        let cfg = SimConfig {
+            transport: if mptcp { Transport::mptcp8() } else { Transport::TcpEcmp },
+            ..SimConfig::default()
+        };
+        let res = simulate(&net.graph, &flows, &cfg);
+        for (r, f) in res.records.iter().zip(&flows) {
+            let fct = r.fct();
+            prop_assert!(fct.is_some(), "flow {} never finished", f.id);
+            let ideal = f.bytes * 8.0 / 10e9; // 10G NIC
+            prop_assert!(
+                fct.unwrap() >= ideal - 1e-9,
+                "flow {} fct {} beats ideal {}",
+                f.id, fct.unwrap(), ideal
+            );
+            prop_assert!(r.avg_rate_gbps().unwrap() <= 10.0 + 1e-6);
+        }
+    }
+
+    /// Bit-for-bit determinism.
+    #[test]
+    fn deterministic(n_flows in 1usize..16, seed in any::<u64>()) {
+        let net = mini_net();
+        let flows: Vec<FlowSpec> = random_flows(net.servers.len(), n_flows, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, d, bytes, start))| FlowSpec {
+                id: i as u64,
+                src: net.servers[s],
+                dst: net.servers[d],
+                bytes,
+                start,
+            })
+            .collect();
+        let a = simulate(&net.graph, &flows, &SimConfig::default());
+        let b = simulate(&net.graph, &flows, &SimConfig::default());
+        prop_assert_eq!(a.records, b.records);
+    }
+
+    /// MPTCP over k-shortest paths never loses to single-path ECMP on
+    /// total completion time of a permutation batch (it has a superset of
+    /// the path diversity).
+    #[test]
+    fn mptcp_beats_or_matches_ecmp_makespan(seed in any::<u64>()) {
+        let net = mini_net();
+        let n = net.servers.len();
+        let pairs = traffic::patterns::permutation(n, seed);
+        let flows: Vec<FlowSpec> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d))| FlowSpec {
+                id: i as u64,
+                src: net.servers[s],
+                dst: net.servers[d],
+                bytes: 1e7,
+                start: 0.0,
+            })
+            .collect();
+        let ecmp = simulate(&net.graph, &flows, &SimConfig {
+            transport: Transport::TcpEcmp,
+            ..SimConfig::default()
+        });
+        let mptcp = simulate(&net.graph, &flows, &SimConfig::default());
+        let makespan = |r: &flowsim::SimResult| {
+            r.records.iter().filter_map(|x| x.finish).fold(0.0f64, f64::max)
+        };
+        prop_assert!(makespan(&mptcp) <= makespan(&ecmp) * 1.10 + 1e-9,
+            "mptcp {} vs ecmp {}", makespan(&mptcp), makespan(&ecmp));
+    }
+}

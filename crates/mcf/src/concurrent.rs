@@ -1,0 +1,202 @@
+//! Garg–Könemann max-concurrent multi-commodity flow ("LP minimum").
+//!
+//! Maximizes λ such that every commodity `i` can route `λ · demand_i`
+//! simultaneously. With equal demands this is exactly the paper's "LP
+//! minimum" objective: the maximized minimum flow throughput, with ideal
+//! load balancing (§5.1).
+//!
+//! Implementation: the multiplicative-weights FPTAS of Garg & Könemann
+//! (FOCS 1998, as simplified by Fleischer). Link lengths start at
+//! `δ / capacity` and are multiplied by `(1 + ε·f/c)` per augmentation;
+//! commodities route along length-shortest paths until the total "budget"
+//! `D = Σ l_e c_e` reaches 1. Rather than trusting the theoretical scaling
+//! constant, we rescale the accumulated flow by the *measured* worst link
+//! overload, which makes the returned allocation exactly feasible and the
+//! reported λ a certified achievable value.
+
+use crate::Commodity;
+use netgraph::dijkstra::shortest_path_by;
+use netgraph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Result of a max-concurrent flow computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConcurrentFlow {
+    /// The concurrent ratio: every commodity can sustain
+    /// `lambda * demand` simultaneously.
+    pub lambda: f64,
+    /// Feasible per-commodity rates (Gbps) after rescaling. Each rate is
+    /// ≥ `lambda * demand` (some commodities may carry more).
+    pub rates: Vec<f64>,
+    /// Augmentation count, for performance diagnostics.
+    pub augmentations: usize,
+}
+
+impl ConcurrentFlow {
+    /// The "LP minimum" per-flow throughput: exactly `lambda * demand_i`.
+    /// The paper's LP-minimum "stops allocating residual bandwidth after
+    /// it has successfully maximized the minimum flow throughput", so all
+    /// flows sit at this value (Figure 7's flat LP-min distribution).
+    pub fn lp_min_rates(&self, commodities: &[Commodity]) -> Vec<f64> {
+        commodities.iter().map(|c| self.lambda * c.demand).collect()
+    }
+}
+
+/// Runs Garg–Könemann with accuracy parameter `epsilon` (0 < ε < 1;
+/// 0.1 is a good default — a few percent from optimal at moderate cost).
+///
+/// Panics if a commodity is unroutable (disconnected endpoints).
+pub fn max_concurrent_flow(g: &Graph, commodities: &[Commodity], epsilon: f64) -> ConcurrentFlow {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(!commodities.is_empty(), "no commodities");
+    let num_links = g.link_count();
+    let caps: Vec<f64> = g.link_ids().map(|l| g.link(l).capacity_gbps).collect();
+
+    // δ per Fleischer: (1+ε) / ((1+ε) L)^(1/ε), L = #links bounds path len.
+    let l_bound = num_links.max(2) as f64;
+    let delta = (1.0 + epsilon) / ((1.0 + epsilon) * l_bound).powf(1.0 / epsilon);
+    let mut length: Vec<f64> = caps.iter().map(|&c| delta / c).collect();
+    let mut budget: f64 = length.iter().zip(&caps).map(|(l, c)| l * c).sum();
+
+    let mut link_flow = vec![0.0f64; num_links];
+    let mut raw = vec![0.0f64; commodities.len()];
+    let mut augmentations = 0usize;
+
+    'outer: loop {
+        for (i, com) in commodities.iter().enumerate() {
+            let mut remaining = com.demand;
+            while remaining > 1e-12 {
+                if budget >= 1.0 {
+                    break 'outer;
+                }
+                let (_, path) = shortest_path_by(g, com.src, com.dst, |l| length[l.idx()])
+                    .unwrap_or_else(|| {
+                        panic!("commodity {:?} -> {:?} unroutable", com.src, com.dst)
+                    });
+                // Send up to the bottleneck capacity or remaining demand.
+                let bottleneck = path
+                    .links
+                    .iter()
+                    .map(|&l| caps[l.idx()])
+                    .fold(f64::INFINITY, f64::min);
+                let f = remaining.min(bottleneck);
+                for &l in &path.links {
+                    let li = l.idx();
+                    link_flow[li] += f;
+                    let old = length[li];
+                    length[li] = old * (1.0 + epsilon * f / caps[li]);
+                    budget += (length[li] - old) * caps[li];
+                }
+                raw[i] += f;
+                remaining -= f;
+                augmentations += 1;
+            }
+        }
+    }
+
+    // Rescale by the measured worst overload so the flow is feasible.
+    let overload = link_flow
+        .iter()
+        .zip(&caps)
+        .map(|(f, c)| f / c)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let rates: Vec<f64> = raw.iter().map(|r| r / overload).collect();
+    let lambda = rates
+        .iter()
+        .zip(commodities)
+        .map(|(r, c)| r / c.demand)
+        .fold(f64::INFINITY, f64::min);
+    ConcurrentFlow {
+        lambda,
+        rates,
+        augmentations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{NodeId, NodeKind};
+
+    /// s0,s1 -> shared 10G link -> t0,t1.
+    fn shared_bottleneck() -> (Graph, Vec<Commodity>) {
+        let mut g = Graph::new();
+        let sw0 = g.add_node(NodeKind::GenericSwitch, "sw0");
+        let sw1 = g.add_node(NodeKind::GenericSwitch, "sw1");
+        g.add_duplex_link(sw0, sw1, 10.0);
+        let mut coms = Vec::new();
+        for i in 0..2 {
+            let s = g.add_node(NodeKind::Server, format!("s{i}"));
+            let t = g.add_node(NodeKind::Server, format!("t{i}"));
+            g.add_duplex_link(s, sw0, 10.0);
+            g.add_duplex_link(t, sw1, 10.0);
+            coms.push(Commodity::unit(s, t));
+        }
+        (g, coms)
+    }
+
+    #[test]
+    fn two_flows_split_a_bottleneck() {
+        let (g, coms) = shared_bottleneck();
+        let r = max_concurrent_flow(&g, &coms, 0.05);
+        // Optimal: each flow gets 5 Gbps; λ = 5 (demand 1).
+        assert!(r.lambda > 4.5 && r.lambda <= 5.0 + 1e-9, "λ = {}", r.lambda);
+    }
+
+    #[test]
+    fn two_disjoint_paths_double_throughput() {
+        // One commodity, two parallel 10G two-hop paths: optimal 20 minus
+        // NIC cap... no NIC here, endpoints are servers with 40G uplinks.
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        let x = g.add_node(NodeKind::GenericSwitch, "x");
+        let y = g.add_node(NodeKind::GenericSwitch, "y");
+        let s = g.add_node(NodeKind::Server, "s");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, a, 40.0);
+        g.add_duplex_link(a, x, 10.0);
+        g.add_duplex_link(a, y, 10.0);
+        g.add_duplex_link(x, b, 10.0);
+        g.add_duplex_link(y, b, 10.0);
+        g.add_duplex_link(b, t, 40.0);
+        let coms = vec![Commodity::unit(s, t)];
+        let r = max_concurrent_flow(&g, &coms, 0.05);
+        assert!(r.lambda > 18.0 && r.lambda <= 20.0 + 1e-9, "λ = {}", r.lambda);
+    }
+
+    #[test]
+    fn rates_are_feasible() {
+        let (g, coms) = shared_bottleneck();
+        let r = max_concurrent_flow(&g, &coms, 0.1);
+        // Recheck feasibility by replaying flows is internal; here check
+        // λ consistency.
+        for (rate, c) in r.rates.iter().zip(&coms) {
+            assert!(rate / c.demand >= r.lambda - 1e-9);
+        }
+        let lp_min = r.lp_min_rates(&coms);
+        assert!(lp_min.iter().all(|&x| (x - r.lambda).abs() < 1e-12));
+    }
+
+    #[test]
+    fn tighter_epsilon_is_at_least_as_good() {
+        let (g, coms) = shared_bottleneck();
+        let loose = max_concurrent_flow(&g, &coms, 0.3);
+        let tight = max_concurrent_flow(&g, &coms, 0.03);
+        assert!(tight.lambda >= loose.lambda * 0.95);
+        assert!(tight.augmentations >= loose.augmentations);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroutable")]
+    fn unroutable_panics() {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::Server, "s");
+        let t = g.add_node(NodeKind::Server, "t");
+        let sw = g.add_node(NodeKind::GenericSwitch, "sw");
+        g.add_duplex_link(s, sw, 10.0);
+        // t is detached.
+        max_concurrent_flow(&g, &[Commodity::unit(s, t)], 0.1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the MCF approximations.
+
+use mcf::maxmin::{max_min, verify_max_min, weighted_max_min, Entity};
+use mcf::{concurrent::max_concurrent_flow, Commodity};
+use netgraph::{Graph, NodeId, NodeKind};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_net(switches: usize, servers: usize, extra: usize, seed: u64) -> (Graph, Vec<NodeId>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let sw: Vec<NodeId> = (0..switches)
+        .map(|i| g.add_node(NodeKind::GenericSwitch, format!("sw{i}")))
+        .collect();
+    for i in 1..switches {
+        let p = rng.gen_range(0..i);
+        g.add_duplex_link(sw[i], sw[p], 10.0);
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(0..switches);
+        let b = rng.gen_range(0..switches);
+        if a != b && g.find_link(sw[a], sw[b]).is_none() {
+            g.add_duplex_link(sw[a], sw[b], 10.0);
+        }
+    }
+    let servers: Vec<NodeId> = (0..servers)
+        .map(|i| {
+            let s = g.add_node(NodeKind::Server, format!("s{i}"));
+            g.add_duplex_link(s, sw[i % switches], 10.0);
+            s
+        })
+        .collect();
+    (g, servers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Max-min allocations over random entity sets are always feasible and
+    /// bottleneck-justified.
+    #[test]
+    fn water_filling_invariants(
+        links in 1usize..12,
+        ents in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let caps: Vec<f64> = (0..links).map(|_| rng.gen_range(1.0..20.0)).collect();
+        let entities: Vec<Entity> = (0..ents)
+            .map(|_| {
+                let n = rng.gen_range(1..=links);
+                let mut ls: Vec<usize> = (0..links).collect();
+                for i in 0..n {
+                    let j = rng.gen_range(i..links);
+                    ls.swap(i, j);
+                }
+                ls.truncate(n);
+                Entity { weight: rng.gen_range(0.5..4.0), links: ls }
+            })
+            .collect();
+        let rates = weighted_max_min(&caps, &entities);
+        prop_assert!(verify_max_min(&caps, &entities, &rates).is_ok());
+        prop_assert!(rates.iter().all(|&r| r >= 0.0));
+    }
+
+    /// On a single shared link, max-min equals the exact fair share.
+    #[test]
+    fn fair_share_exact(n in 1usize..30, cap in 1.0f64..100.0) {
+        let paths: Vec<Vec<usize>> = (0..n).map(|_| vec![0]).collect();
+        let rates = max_min(&[cap], &paths);
+        for r in rates {
+            prop_assert!((r - cap / n as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Garg–Könemann on random networks: λ is positive, rates respect
+    /// λ·demand, and λ never exceeds the obvious NIC bound.
+    #[test]
+    fn gk_sane_on_random_networks(
+        switches in 3usize..10,
+        extra in 0usize..10,
+        pairs in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (g, servers) = random_net(switches, 2 * pairs, extra, seed);
+        let coms: Vec<Commodity> = (0..pairs)
+            .map(|i| Commodity::unit(servers[2 * i], servers[2 * i + 1]))
+            .collect();
+        let r = max_concurrent_flow(&g, &coms, 0.15);
+        prop_assert!(r.lambda > 0.0);
+        prop_assert!(r.lambda <= 10.0 + 1e-6, "NIC rate bounds λ, got {}", r.lambda);
+        for (rate, c) in r.rates.iter().zip(&coms) {
+            prop_assert!(rate / c.demand >= r.lambda - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Shortest-path algorithms: BFS for hop counts, Dijkstra for weighted
+//! lengths with a caller-supplied link-length function.
+//!
+//! All routines refuse to expand *through* non-transit nodes (servers):
+//! a server may start or terminate a path but never forward.
+
+use crate::graph::{Graph, LinkId, NodeId};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Hop distances from `src` to every node (BFS). `usize::MAX` = unreachable.
+pub fn hop_distances(g: &Graph, src: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src.idx()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        // Do not forward through servers (except the source itself).
+        if u != src && !g.node(u).kind.is_transit() {
+            continue;
+        }
+        for &(v, _) in g.neighbors(u) {
+            if dist[v.idx()] == usize::MAX {
+                dist[v.idx()] = dist[u.idx()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest path by hop count, ties broken toward smaller node ids
+/// (deterministic). Returns `None` if unreachable.
+pub fn shortest_path(g: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    shortest_path_by(g, src, dst, |_| 1.0).map(|(_, p)| p)
+}
+
+/// Hop count of the shortest path, if reachable.
+pub fn hop_distance(g: &Graph, src: NodeId, dst: NodeId) -> Option<usize> {
+    let d = hop_distances(g, src)[dst.idx()];
+    (d != usize::MAX).then_some(d)
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (cost, node id): reverse the natural order.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra with a custom non-negative link length. Links with
+/// non-finite length are treated as removed — this is how Yen's algorithm
+/// and the MCF solver mask links. Returns `(total length, path)`.
+///
+/// Tie-breaking: among equal-length relaxations the predecessor with the
+/// smaller node id wins, so results are deterministic.
+pub fn shortest_path_by<F>(g: &Graph, src: NodeId, dst: NodeId, length: F) -> Option<(f64, Path)>
+where
+    F: Fn(LinkId) -> f64,
+{
+    shortest_path_masked(g, src, dst, length, |_| true)
+}
+
+/// Like [`shortest_path_by`] but additionally masking nodes: `node_ok(n)`
+/// must return `true` for a node to be *entered* (src is always allowed).
+pub fn shortest_path_masked<F, M>(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    length: F,
+    node_ok: M,
+) -> Option<(f64, Path)>
+where
+    F: Fn(LinkId) -> f64,
+    M: Fn(NodeId) -> bool,
+{
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.idx()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(HeapEntry { cost, node: u }) = heap.pop() {
+        if done[u.idx()] {
+            continue;
+        }
+        done[u.idx()] = true;
+        if u == dst {
+            break;
+        }
+        if u != src && !g.node(u).kind.is_transit() {
+            continue; // never forward through a server
+        }
+        for &(v, l) in g.neighbors(u) {
+            if !node_ok(v) && v != dst {
+                continue;
+            }
+            let w = length(l);
+            if !w.is_finite() {
+                continue;
+            }
+            debug_assert!(w >= 0.0, "negative link length");
+            let cand = cost + w;
+            let better = cand < dist[v.idx()]
+                || (cand == dist[v.idx()]
+                    && prev[v.idx()].map(|(p, _)| u < p).unwrap_or(false));
+            if better && !done[v.idx()] {
+                dist[v.idx()] = cand;
+                prev[v.idx()] = Some((u, l));
+                heap.push(HeapEntry { cost: cand, node: v });
+            }
+        }
+    }
+    if !dist[dst.idx()].is_finite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut nodes = vec![dst];
+    let mut links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, l) = prev[cur.idx()]?;
+        nodes.push(p);
+        links.push(l);
+        cur = p;
+    }
+    nodes.reverse();
+    links.reverse();
+    Some((dist[dst.idx()], Path { nodes, links }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    /// Diamond: s - a - t and s - b - c - t; shortest is via a.
+    fn diamond() -> (Graph, [NodeId; 5]) {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::GenericSwitch, "s");
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        let c = g.add_node(NodeKind::GenericSwitch, "c");
+        let t = g.add_node(NodeKind::GenericSwitch, "t");
+        g.add_duplex_link(s, a, 10.0);
+        g.add_duplex_link(a, t, 10.0);
+        g.add_duplex_link(s, b, 10.0);
+        g.add_duplex_link(b, c, 10.0);
+        g.add_duplex_link(c, t, 10.0);
+        (g, [s, a, b, c, t])
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let (g, [s, a, b, c, t]) = diamond();
+        let d = hop_distances(&g, s);
+        assert_eq!(d[s.idx()], 0);
+        assert_eq!(d[a.idx()], 1);
+        assert_eq!(d[b.idx()], 1);
+        assert_eq!(d[c.idx()], 2);
+        assert_eq!(d[t.idx()], 2);
+    }
+
+    #[test]
+    fn shortest_takes_short_branch() {
+        let (g, [s, a, _, _, t]) = diamond();
+        let p = shortest_path(&g, s, t).unwrap();
+        assert_eq!(p.nodes, vec![s, a, t]);
+    }
+
+    #[test]
+    fn weighted_can_prefer_long_branch() {
+        let (g, [s, _, b, c, t]) = diamond();
+        // Make the a-branch expensive.
+        let (_, p) = shortest_path_by(&g, s, t, |l| {
+            let info = g.link(l);
+            if info.src == NodeId(1) || info.dst == NodeId(1) {
+                100.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert_eq!(p.nodes, vec![s, b, c, t]);
+    }
+
+    #[test]
+    fn masked_links_are_removed() {
+        let (g, [s, a, b, c, t]) = diamond();
+        let blocked = g.find_link(a, t).unwrap();
+        let (_, p) =
+            shortest_path_by(&g, s, t, |l| if l == blocked { f64::INFINITY } else { 1.0 })
+                .unwrap();
+        assert_eq!(p.nodes, vec![s, b, c, t]);
+    }
+
+    #[test]
+    fn masked_nodes_are_removed() {
+        let (g, [s, a, b, c, t]) = diamond();
+        let (_, p) = shortest_path_masked(&g, s, t, |_| 1.0, |n| n != a).unwrap();
+        assert_eq!(p.nodes, vec![s, b, c, t]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        assert!(shortest_path(&g, a, b).is_none());
+        assert_eq!(hop_distance(&g, a, b), None);
+    }
+
+    #[test]
+    fn servers_are_not_transit() {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::Server, "s");
+        let m = g.add_node(NodeKind::Server, "middle");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, m, 10.0);
+        g.add_duplex_link(m, t, 10.0);
+        // The only route transits server `m`; must be rejected.
+        assert!(shortest_path(&g, s, t).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two equal-length branches; the smaller-id intermediate must win.
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::GenericSwitch, "s");
+        let x = g.add_node(NodeKind::GenericSwitch, "x");
+        let y = g.add_node(NodeKind::GenericSwitch, "y");
+        let t = g.add_node(NodeKind::GenericSwitch, "t");
+        g.add_duplex_link(s, y, 10.0); // inserted first but larger id
+        g.add_duplex_link(s, x, 10.0);
+        g.add_duplex_link(y, t, 10.0);
+        g.add_duplex_link(x, t, 10.0);
+        let p = shortest_path(&g, s, t).unwrap();
+        assert_eq!(p.nodes, vec![s, x, t]);
+    }
+}

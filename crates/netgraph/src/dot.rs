@@ -1,0 +1,84 @@
+//! Graphviz DOT export for visual inspection of built topologies.
+//!
+//! Node shapes/colors encode the layer (server / edge / agg / core /
+//! generic), and duplex cables are rendered once with their aggregate
+//! capacity as the label. The output renders usefully with both `dot`
+//! (hierarchies) and `sfdp` (random graphs).
+
+use crate::graph::{Graph, NodeKind};
+use std::fmt::Write;
+
+/// Renders the graph as a DOT document.
+pub fn to_dot(g: &Graph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", title.replace('"', "'"));
+    let _ = writeln!(out, "  layout=dot; overlap=false; splines=true;");
+    for n in g.node_ids() {
+        let info = g.node(n);
+        let (shape, color) = match info.kind {
+            NodeKind::Server => ("ellipse", "gray80"),
+            NodeKind::EdgeSwitch => ("box", "lightblue"),
+            NodeKind::AggSwitch => ("box", "palegreen"),
+            NodeKind::CoreSwitch => ("box", "lightsalmon"),
+            NodeKind::GenericSwitch => ("box", "khaki"),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={shape}, style=filled, fillcolor={color}];",
+            n.0,
+            info.label.replace('"', "'")
+        );
+    }
+    for l in g.link_ids() {
+        let info = g.link(l);
+        // Render each duplex cable once (the direction with the smaller
+        // id); lone directed links render with an arrowhead-ish style.
+        let render = match info.reverse {
+            Some(r) => r.0 > l.0,
+            None => true,
+        };
+        if render {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [label=\"{}G\"];",
+                info.src.0, info.dst.0, info.capacity_gbps
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_every_node_and_cable_once() {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::Server, "s0");
+        let e = g.add_node(NodeKind::EdgeSwitch, "e0");
+        let c = g.add_node(NodeKind::CoreSwitch, "c0");
+        g.add_duplex_link(s, e, 10.0);
+        g.add_duplex_link(e, c, 40.0);
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("graph \"test\""));
+        for label in ["s0", "e0", "c0"] {
+            assert!(dot.contains(label));
+        }
+        // Two cables, each rendered once.
+        assert_eq!(dot.matches(" -- ").count(), 2);
+        assert!(dot.contains("40G"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::GenericSwitch, "we\"ird");
+        let b = g.add_node(NodeKind::GenericSwitch, "ok");
+        g.add_duplex_link(a, b, 1.0);
+        let dot = to_dot(&g, "t\"itle");
+        assert!(!dot.contains("we\"ird"));
+        assert!(dot.contains("we'ird"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Yen's k-shortest loopless paths (Yen, *Management Science* 1971).
+//!
+//! The paper routes flat-tree global/local modes with k-shortest-path
+//! routing (§4, citing \[50\]); `routing` builds its per-pair path tables on
+//! top of this module. Paths are simple (loop-free), returned sorted by
+//! length and then lexicographically by node sequence, so the output is
+//! fully deterministic.
+
+use crate::dijkstra::shortest_path_masked;
+use crate::graph::{Graph, LinkId, NodeId};
+use crate::path::Path;
+use std::collections::HashSet;
+
+/// k shortest loopless paths by hop count.
+pub fn k_shortest_paths(g: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+    k_shortest_paths_by(g, src, dst, k, |_| 1.0)
+}
+
+/// k shortest loopless paths under a custom non-negative link length.
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// simple paths. `src == dst` yields the empty set.
+pub fn k_shortest_paths_by<F>(g: &Graph, src: NodeId, dst: NodeId, k: usize, length: F) -> Vec<Path>
+where
+    F: Fn(LinkId) -> f64,
+{
+    if k == 0 || src == dst {
+        return Vec::new();
+    }
+    let mut selected: Vec<(f64, Path)> = Vec::new();
+    let Some(first) = shortest_path_masked(g, src, dst, &length, |_| true) else {
+        return Vec::new();
+    };
+    selected.push(first);
+
+    // Candidate pool; deduplicated by node sequence.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+    let mut candidate_keys: HashSet<Vec<NodeId>> = HashSet::new();
+
+    while selected.len() < k {
+        let (_, last) = selected.last().expect("nonempty").clone();
+        // Spur from every node of the previously selected path.
+        for i in 0..last.nodes.len() - 1 {
+            let spur = last.nodes[i];
+            let root_nodes = &last.nodes[..=i];
+            let root_links = &last.links[..i];
+            let root_cost: f64 = root_links.iter().map(|&l| length(l)).sum();
+
+            // Mask: links used by any selected/candidate-selected path that
+            // shares this root, plus all root nodes except the spur node.
+            let mut removed_links: HashSet<LinkId> = HashSet::new();
+            for (_, p) in &selected {
+                if p.nodes.len() > i && p.nodes[..=i] == *root_nodes {
+                    removed_links.insert(p.links[i]);
+                }
+            }
+            let removed_nodes: HashSet<NodeId> =
+                root_nodes[..i].iter().copied().collect();
+
+            let spur_path = shortest_path_masked(
+                g,
+                spur,
+                dst,
+                |l| {
+                    if removed_links.contains(&l) {
+                        f64::INFINITY
+                    } else {
+                        length(l)
+                    }
+                },
+                |n| !removed_nodes.contains(&n),
+            );
+            let Some((spur_cost, spur_path)) = spur_path else {
+                continue;
+            };
+            // Stitch root + spur.
+            let mut nodes = root_nodes.to_vec();
+            nodes.extend_from_slice(&spur_path.nodes[1..]);
+            let mut links = root_links.to_vec();
+            links.extend_from_slice(&spur_path.links);
+            let total = Path { nodes, links };
+            debug_assert!(total.validate(g).is_ok(), "Yen stitched an invalid path");
+            if candidate_keys.insert(total.nodes.clone()) {
+                candidates.push((root_cost + spur_cost, total));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the best candidate: min (cost, node sequence).
+        let best_idx = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, (ca, pa)), (_, (cb, pb))| {
+                ca.partial_cmp(cb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| pa.nodes.cmp(&pb.nodes))
+            })
+            .map(|(idx, _)| idx)
+            .expect("nonempty");
+        let best = candidates.swap_remove(best_idx);
+        candidate_keys.remove(&best.1.nodes);
+        selected.push(best);
+    }
+
+    // Final deterministic ordering.
+    selected.sort_by(|(ca, pa), (cb, pb)| {
+        ca.partial_cmp(cb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| pa.nodes.cmp(&pb.nodes))
+    });
+    selected.into_iter().map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    /// Classic Yen example graph (directed interpretation of the wiki
+    /// example would need weights; we use a small mesh instead).
+    fn mesh() -> (Graph, [NodeId; 6]) {
+        let mut g = Graph::new();
+        let c = g.add_node(NodeKind::GenericSwitch, "c");
+        let d = g.add_node(NodeKind::GenericSwitch, "d");
+        let e = g.add_node(NodeKind::GenericSwitch, "e");
+        let f = g.add_node(NodeKind::GenericSwitch, "f");
+        let gg = g.add_node(NodeKind::GenericSwitch, "g");
+        let h = g.add_node(NodeKind::GenericSwitch, "h");
+        for (a, b) in [(c, d), (c, e), (d, f), (e, d), (e, f), (f, h), (f, gg), (gg, h), (e, gg)] {
+            g.add_duplex_link(a, b, 10.0);
+        }
+        (g, [c, d, e, f, gg, h])
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let (g, [c, .., h]) = mesh();
+        let ps = k_shortest_paths(&g, c, h, 1);
+        let sp = crate::dijkstra::shortest_path(&g, c, h).unwrap();
+        assert_eq!(ps[0], sp);
+    }
+
+    #[test]
+    fn paths_are_sorted_simple_and_distinct() {
+        let (g, [c, .., h]) = mesh();
+        let ps = k_shortest_paths(&g, c, h, 10);
+        assert!(ps.len() >= 3);
+        for w in ps.windows(2) {
+            assert!(w[0].len() <= w[1].len(), "not sorted by length");
+            assert_ne!(w[0].nodes, w[1].nodes, "duplicate path");
+        }
+        for p in &ps {
+            p.validate(&g).unwrap();
+            assert_eq!(p.src(), c);
+            assert_eq!(p.dst(), h);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_same_endpoint() {
+        let (g, [c, .., h]) = mesh();
+        assert!(k_shortest_paths(&g, c, h, 0).is_empty());
+        assert!(k_shortest_paths(&g, c, c, 5).is_empty());
+    }
+
+    #[test]
+    fn exhausts_when_fewer_paths_exist() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        g.add_duplex_link(a, b, 1.0);
+        let ps = k_shortest_paths(&g, a, b, 8);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn diamond_has_two_disjoint_paths() {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::GenericSwitch, "s");
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        let t = g.add_node(NodeKind::GenericSwitch, "t");
+        g.add_duplex_link(s, a, 1.0);
+        g.add_duplex_link(s, b, 1.0);
+        g.add_duplex_link(a, t, 1.0);
+        g.add_duplex_link(b, t, 1.0);
+        let ps = k_shortest_paths(&g, s, t, 4);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].nodes, vec![s, a, t]);
+        assert_eq!(ps[1].nodes, vec![s, b, t]);
+    }
+
+    #[test]
+    fn respects_custom_lengths() {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::GenericSwitch, "s");
+        let a = g.add_node(NodeKind::GenericSwitch, "a");
+        let b = g.add_node(NodeKind::GenericSwitch, "b");
+        let t = g.add_node(NodeKind::GenericSwitch, "t");
+        let (sa, _) = g.add_duplex_link(s, a, 1.0);
+        g.add_duplex_link(s, b, 1.0);
+        g.add_duplex_link(a, t, 1.0);
+        g.add_duplex_link(b, t, 1.0);
+        // Penalize the s→a link so the b branch sorts first.
+        let ps = k_shortest_paths_by(&g, s, t, 2, |l| if l == sa { 5.0 } else { 1.0 });
+        assert_eq!(ps[0].nodes, vec![s, b, t]);
+        assert_eq!(ps[1].nodes, vec![s, a, t]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Strategy: generate random connected switch graphs (a spanning tree plus
+//! random extra duplex links), then check algebraic invariants of the
+//! shortest-path, Yen, and ECMP implementations.
+
+use netgraph::{dijkstra, ecmp, yen, Graph, NodeId, NodeKind};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a connected random graph of `n` switches with roughly `extra`
+/// additional links beyond the spanning tree.
+fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut g = Graph::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| g.add_node(NodeKind::GenericSwitch, format!("n{i}")))
+        .collect();
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_duplex_link(nodes[i], nodes[parent], 10.0);
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && g.find_link(nodes[a], nodes[b]).is_none() {
+            g.add_duplex_link(nodes[a], nodes[b], 10.0);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen paths are simple, sorted by length, distinct, and the first one
+    /// matches Dijkstra's shortest path length.
+    #[test]
+    fn yen_invariants(n in 4usize..24, extra in 0usize..20, seed in any::<u64>(), k in 1usize..9) {
+        let g = random_connected(n, extra, seed);
+        let src = NodeId(0);
+        let dst = NodeId(n as u32 - 1);
+        let paths = yen::k_shortest_paths(&g, src, dst, k);
+        prop_assert!(!paths.is_empty(), "connected graph must have a path");
+        prop_assert!(paths.len() <= k);
+        let spl = dijkstra::hop_distance(&g, src, dst).unwrap();
+        prop_assert_eq!(paths[0].len(), spl);
+        let mut seen = std::collections::HashSet::new();
+        let mut prev_len = 0usize;
+        for p in &paths {
+            prop_assert!(p.validate(&g).is_ok());
+            prop_assert_eq!(p.src(), src);
+            prop_assert_eq!(p.dst(), dst);
+            prop_assert!(p.len() >= prev_len, "paths must be sorted by length");
+            prev_len = p.len();
+            prop_assert!(seen.insert(p.nodes.clone()), "duplicate path");
+        }
+    }
+
+    /// Every enumerated equal-cost path has exactly the shortest length and
+    /// the hash selection always lands inside the set.
+    #[test]
+    fn ecmp_invariants(n in 4usize..20, extra in 0usize..16, seed in any::<u64>()) {
+        let g = random_connected(n, extra, seed);
+        let src = NodeId(0);
+        let dst = NodeId(n as u32 - 1);
+        let spl = dijkstra::hop_distance(&g, src, dst).unwrap();
+        let paths = ecmp::equal_cost_paths(&g, src, dst);
+        prop_assert!(!paths.is_empty());
+        for p in &paths {
+            prop_assert_eq!(p.len(), spl);
+            prop_assert!(p.validate(&g).is_ok());
+        }
+        for fid in 0..8u64 {
+            let chosen = ecmp::ecmp_path(&g, src, dst, fid).unwrap();
+            prop_assert!(paths.contains(&chosen));
+        }
+    }
+
+    /// BFS distance satisfies the triangle property over one extra hop and
+    /// symmetric graphs give symmetric distances.
+    #[test]
+    fn bfs_symmetry(n in 3usize..20, extra in 0usize..12, seed in any::<u64>()) {
+        let g = random_connected(n, extra, seed);
+        for a in 0..n.min(5) {
+            let da = dijkstra::hop_distances(&g, NodeId(a as u32));
+            for b in 0..n.min(5) {
+                let db = dijkstra::hop_distances(&g, NodeId(b as u32));
+                prop_assert_eq!(da[b], db[a], "duplex graph distances must be symmetric");
+            }
+        }
+    }
+
+    /// Weighted Dijkstra with unit weights equals BFS hop distance.
+    #[test]
+    fn dijkstra_unit_equals_bfs(n in 3usize..20, extra in 0usize..12, seed in any::<u64>()) {
+        let g = random_connected(n, extra, seed);
+        let src = NodeId(0);
+        let bfs = dijkstra::hop_distances(&g, src);
+        for t in 1..n {
+            let dst = NodeId(t as u32);
+            let (cost, p) = dijkstra::shortest_path_by(&g, src, dst, |_| 1.0).unwrap();
+            prop_assert_eq!(cost as usize, bfs[t]);
+            prop_assert_eq!(p.len(), bfs[t]);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Segment routing with a Path Computation Element (§4.2.2, first
+//! option).
+//!
+//! "Segment routing is a natural fit to this request in SDN. In segment
+//! routing, the k-shortest-path routing algorithm can be implemented in
+//! the Path Computation Element (PCE), an equivalent of the centralized
+//! network controller, which enforces per-route states only at ingress
+//! switches. It relies on the MPLS and IPv6 architecture. The ingress
+//! switch encodes the hops of a path as a stack of MPLS labels. The
+//! transit switches forward packets by dumb matching of the label on top
+//! of the stack and pop it upon completion."
+//!
+//! Labels here are adjacency segments: a label names an output port of
+//! the switch currently holding the packet. The [`Pce`] computes the
+//! k-shortest paths, compiles them to label stacks, and installs
+//! per-route state **only at ingress switches**; transit switches need no
+//! per-route rules at all (they pop and forward), which is even leaner
+//! than the MAC/TTL scheme's `D × C` static rules.
+
+use crate::ksp::RouteTable;
+use bytes::{Buf, BufMut, BytesMut};
+use netgraph::{Graph, NodeId, Path};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An MPLS label stack (top of stack first). 20-bit labels as in RFC
+/// 3031; we use the label value as an adjacency segment = output port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelStack {
+    labels: Vec<u32>,
+}
+
+impl LabelStack {
+    /// Builds a stack from per-hop output ports (first hop on top).
+    pub fn from_ports(ports: &[u32]) -> Self {
+        for &p in ports {
+            assert!(p < (1 << 20), "MPLS labels are 20-bit");
+        }
+        Self {
+            labels: ports.to_vec(),
+        }
+    }
+
+    /// Top label, if any.
+    pub fn top(&self) -> Option<u32> {
+        self.labels.first().copied()
+    }
+
+    /// Pops the top label (the transit switch's only action).
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(self.labels.remove(0))
+        }
+    }
+
+    /// Remaining stack depth.
+    pub fn depth(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Serializes as an RFC-3032-style label stack: 4 bytes per entry,
+    /// 20-bit label, bottom-of-stack bit on the last entry.
+    pub fn encode(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(self.labels.len() * 4);
+        for (i, &l) in self.labels.iter().enumerate() {
+            let bos = (i + 1 == self.labels.len()) as u32;
+            // label(20) | TC(3) | S(1) | TTL(8)
+            let entry = (l << 12) | (bos << 8) | 0xff;
+            buf.put_u32(entry);
+        }
+        buf
+    }
+
+    /// Parses an encoded stack.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, String> {
+        if buf.len() % 4 != 0 {
+            return Err("label stack length must be a multiple of 4".into());
+        }
+        let mut labels = Vec::with_capacity(buf.len() / 4);
+        let mut saw_bottom = false;
+        while buf.remaining() >= 4 {
+            if saw_bottom {
+                return Err("entries after bottom-of-stack".into());
+            }
+            let entry = buf.get_u32();
+            labels.push(entry >> 12);
+            saw_bottom = (entry >> 8) & 1 == 1;
+        }
+        if !saw_bottom && !labels.is_empty() {
+            return Err("missing bottom-of-stack bit".into());
+        }
+        Ok(Self { labels })
+    }
+}
+
+/// The Path Computation Element: computes k-shortest paths and hands out
+/// label stacks; tracks how much state each ingress switch holds.
+pub struct Pce {
+    table: RouteTable,
+    /// Installed per-(ingress, egress) stacks.
+    installed: HashMap<(NodeId, NodeId), Vec<LabelStack>>,
+}
+
+impl Pce {
+    /// A PCE computing `k` concurrent paths.
+    pub fn new(k: usize) -> Self {
+        Self {
+            table: RouteTable::new(k),
+            installed: HashMap::new(),
+        }
+    }
+
+    /// Compiles a path to its adjacency-segment stack. The stack covers
+    /// the switch hops (the ingress switch's own output port is the top
+    /// label; the final label delivers to the destination server).
+    pub fn compile(g: &Graph, path: &Path) -> LabelStack {
+        let mut ports = Vec::with_capacity(path.nodes.len().saturating_sub(2) + 1);
+        for i in 1..path.nodes.len() - 1 {
+            let sw = path.nodes[i];
+            let next = path.nodes[i + 1];
+            let port = g
+                .neighbors(sw)
+                .iter()
+                .position(|&(v, _)| v == next)
+                .expect("consecutive path nodes are adjacent") as u32;
+            ports.push(port);
+        }
+        LabelStack::from_ports(&ports)
+    }
+
+    /// Computes and installs the stacks for a server pair at its ingress
+    /// switch; returns them.
+    pub fn install(&mut self, g: &Graph, src: NodeId, dst: NodeId) -> Vec<LabelStack> {
+        let ingress = g.server_uplink_switch(src).expect("attached src");
+        let egress = g.server_uplink_switch(dst).expect("attached dst");
+        let stacks: Vec<LabelStack> = self
+            .table
+            .server_paths(g, src, dst)
+            .iter()
+            .map(|p| Self::compile(g, p))
+            .collect();
+        self.installed
+            .insert((ingress, egress), stacks.clone());
+        stacks
+    }
+
+    /// Per-ingress state: number of installed stacks (the §4.2.2 claim is
+    /// `S · k` per ingress; transit switches hold zero per-route state).
+    pub fn state_at(&self, ingress: NodeId) -> usize {
+        self.installed
+            .iter()
+            .filter(|((i, _), _)| *i == ingress)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+
+    /// Executes a stack from an ingress switch: each transit switch pops
+    /// the top label and forwards on that port. Returns the nodes
+    /// visited; the last one should be the destination server.
+    pub fn forward(g: &Graph, ingress: NodeId, mut stack: LabelStack) -> Result<Vec<NodeId>, String> {
+        let mut at = ingress;
+        let mut visited = vec![ingress];
+        while let Some(label) = stack.pop() {
+            let &(next, _) = g
+                .neighbors(at)
+                .get(label as usize)
+                .ok_or_else(|| format!("switch {at:?} has no port {label}"))?;
+            visited.push(next);
+            at = next;
+        }
+        Ok(visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_tree::{FlatTree, FlatTreeParams, ModeAssignment, PodMode};
+    use topology::ClosParams;
+
+    fn global() -> flat_tree::FlatTreeInstance {
+        let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+        ft.instantiate(&ModeAssignment::uniform(4, PodMode::Global))
+    }
+
+    #[test]
+    fn stack_roundtrip_and_bottom_bit() {
+        let s = LabelStack::from_ports(&[3, 0, 17]);
+        let enc = s.encode();
+        assert_eq!(enc.len(), 12);
+        let dec = LabelStack::decode(&enc).unwrap();
+        assert_eq!(dec, s);
+        // Truncated stack (no bottom bit) must be rejected.
+        assert!(LabelStack::decode(&enc[..8]).is_err());
+        assert!(LabelStack::decode(&enc[..7]).is_err());
+    }
+
+    #[test]
+    fn forwarding_follows_each_installed_path() {
+        let inst = global();
+        let g = &inst.net.graph;
+        let mut pce = Pce::new(4);
+        let (src, dst) = (inst.net.servers[0], inst.net.servers[50]);
+        let stacks = pce.install(g, src, dst);
+        assert!(!stacks.is_empty() && stacks.len() <= 4);
+        let mut rt = RouteTable::new(4);
+        let paths = rt.server_paths(g, src, dst);
+        for (stack, path) in stacks.into_iter().zip(paths) {
+            let visited = Pce::forward(g, path.nodes[1], stack).unwrap();
+            assert_eq!(visited, path.nodes[1..].to_vec(), "stack diverged");
+            assert_eq!(*visited.last().unwrap(), dst);
+        }
+    }
+
+    #[test]
+    fn state_lives_only_at_ingress() {
+        let inst = global();
+        let g = &inst.net.graph;
+        let mut pce = Pce::new(4);
+        let src = inst.net.servers[0];
+        let ingress = g.server_uplink_switch(src).unwrap();
+        for &dst in inst.net.servers.iter().skip(1).take(8) {
+            pce.install(g, src, dst);
+        }
+        assert!(pce.state_at(ingress) > 0);
+        // Any other switch holds no per-route state.
+        for sw in g.switches() {
+            if sw != ingress {
+                assert_eq!(pce.state_at(sw), 0);
+            }
+        }
+        // The bound is S * k per ingress.
+        assert!(pce.state_at(ingress) <= 8 * 4);
+    }
+
+    #[test]
+    fn pop_semantics() {
+        let mut s = LabelStack::from_ports(&[1, 2]);
+        assert_eq!(s.top(), Some(1));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "20-bit")]
+    fn rejects_oversized_labels() {
+        LabelStack::from_ports(&[1 << 20]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Two-level routing tables for Clos mode (§4: "For flat-tree Clos mode,
+//! we can use ECMP, two-level routing, or customized SDN routing with
+//! pre-computed paths").
+//!
+//! This is the classic fat-tree scheme of Al-Fares et al. \[12\]: every
+//! switch holds a small **primary table** of prefix rules for downward
+//! (intra-subtree) destinations plus a **secondary table** of suffix
+//! rules that spread upward traffic across the uplinks by destination
+//! server index. The result is deterministic, loop-free, rack-locality-
+//! respecting routing with O(ports) state per switch — the baseline the
+//! paper contrasts against the k-shortest-path machinery needed by the
+//! converted modes.
+//!
+//! We implement it structurally (against the built Clos graph, not
+//! against literal IP prefixes): each switch's table maps a destination
+//! server to an output port. The suffix spreading uses the destination's
+//! index within its rack, exactly like the dst-host byte in \[12\].
+
+use flat_tree::FlatTreeInstance;
+use netgraph::{Graph, NodeId, NodeKind, Path};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A compiled two-level routing fabric for one Clos-mode instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoLevelRouting {
+    /// Downward tables: `down[switch][dst_server] = port`. Populated only
+    /// for destinations in the switch's subtree.
+    down: HashMap<NodeId, HashMap<NodeId, usize>>,
+    /// Upward spreading: `up[switch] = ports` (uplink port list, indexed
+    /// by destination suffix).
+    up: HashMap<NodeId, Vec<usize>>,
+    /// Destination suffix (index within rack) per server.
+    suffix: HashMap<NodeId, usize>,
+}
+
+impl TwoLevelRouting {
+    /// Compiles the tables from a flat-tree instance in **Clos mode**.
+    ///
+    /// Panics if any server is not attached to an edge switch (i.e. the
+    /// instance is not in Clos mode — two-level routing is meaningless on
+    /// the converted topologies, which is the paper's §4 point).
+    pub fn compile(inst: &FlatTreeInstance) -> Self {
+        let g = &inst.net.graph;
+        let mut down: HashMap<NodeId, HashMap<NodeId, usize>> = HashMap::new();
+        let mut up: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut suffix: HashMap<NodeId, usize> = HashMap::new();
+
+        let port_to = |sw: NodeId, next: NodeId| -> usize {
+            g.neighbors(sw)
+                .iter()
+                .position(|&(v, _)| v == next)
+                .expect("adjacent")
+        };
+
+        // Suffixes and edge downward tables.
+        for (pod, edges) in inst.pod_edges.iter().enumerate() {
+            for &e in edges {
+                let mut idx = 0usize;
+                for &(v, _) in g.neighbors(e) {
+                    if g.node(v).kind == NodeKind::Server {
+                        suffix.insert(v, idx);
+                        down.entry(e).or_default().insert(v, port_to(e, v));
+                        idx += 1;
+                    }
+                }
+                // Edge uplinks, in port order.
+                let ups: Vec<usize> = g
+                    .neighbors(e)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(v, _))| g.node(v).kind == NodeKind::AggSwitch)
+                    .map(|(p, _)| p)
+                    .collect();
+                assert!(!ups.is_empty(), "edge without uplinks");
+                up.insert(e, ups);
+            }
+            // Agg downward tables: one entry per server under the pod.
+            for &a in &inst.pod_aggs[pod] {
+                let mut table = HashMap::new();
+                for &e in edges {
+                    if g.find_link(a, e).is_some() {
+                        for &(v, _) in g.neighbors(e) {
+                            if g.node(v).kind == NodeKind::Server {
+                                table.insert(v, port_to(a, e));
+                            }
+                        }
+                    }
+                }
+                down.insert(a, table);
+                let ups: Vec<usize> = g
+                    .neighbors(a)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(v, _))| g.node(v).kind == NodeKind::CoreSwitch)
+                    .map(|(p, _)| p)
+                    .collect();
+                assert!(!ups.is_empty(), "agg without core uplinks");
+                up.insert(a, ups);
+            }
+        }
+        // Core downward tables: per pod, the agg this core connects to.
+        for &c in &inst.cores {
+            let mut table = HashMap::new();
+            for (pod, aggs) in inst.pod_aggs.iter().enumerate() {
+                let Some(&agg) = aggs.iter().find(|&&a| g.find_link(c, a).is_some()) else {
+                    continue;
+                };
+                let port = port_to(c, agg);
+                for &srv in &inst.net.pod_servers[pod] {
+                    table.insert(srv, port);
+                }
+            }
+            down.insert(c, table);
+        }
+
+        for &s in &inst.net.servers {
+            let sw = inst.ingress_switch(s);
+            assert_eq!(
+                g.node(sw).kind,
+                NodeKind::EdgeSwitch,
+                "two-level routing requires Clos mode (server {s:?} is on a \
+                 {:?})",
+                g.node(sw).kind
+            );
+        }
+        Self { down, up, suffix }
+    }
+
+    /// The output port a switch uses for a destination: primary
+    /// (downward) table first, then suffix-spread uplink.
+    pub fn port_at(&self, sw: NodeId, dst: NodeId) -> Option<usize> {
+        if let Some(p) = self.down.get(&sw).and_then(|t| t.get(&dst)) {
+            return Some(*p);
+        }
+        let ups = self.up.get(&sw)?;
+        let sfx = *self.suffix.get(&dst)?;
+        Some(ups[sfx % ups.len()])
+    }
+
+    /// Forwards a packet from `src` to `dst`, returning the full path.
+    /// Errors on loops or dead ends (neither can occur on a well-formed
+    /// Clos; tests rely on this).
+    pub fn route(&self, g: &Graph, src: NodeId, dst: NodeId) -> Result<Path, String> {
+        let mut nodes = vec![src];
+        let mut at = g
+            .server_uplink_switch(src)
+            .ok_or("src is not an attached server")?;
+        nodes.push(at);
+        for _ in 0..16 {
+            if let Some(&(v, _)) = g
+                .neighbors(at)
+                .iter()
+                .find(|&&(v, _)| v == dst)
+            {
+                nodes.push(v);
+                return Path::from_nodes(g, &nodes).ok_or_else(|| "loop".into());
+            }
+            let port = self
+                .port_at(at, dst)
+                .ok_or_else(|| format!("no table entry at {at:?}"))?;
+            let &(next, _) = g
+                .neighbors(at)
+                .get(port)
+                .ok_or_else(|| format!("bad port {port} at {at:?}"))?;
+            nodes.push(next);
+            at = next;
+        }
+        Err("routing loop (hop budget exceeded)".into())
+    }
+
+    /// Total table entries per switch — the state-cost comparison against
+    /// k-shortest-path rules.
+    pub fn entries_at(&self, sw: NodeId) -> usize {
+        self.down.get(&sw).map(|t| t.len()).unwrap_or(0)
+            + self.up.get(&sw).map(|u| u.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flat_tree::{FlatTree, FlatTreeParams, ModeAssignment, PodMode};
+    use topology::ClosParams;
+
+    fn clos_instance() -> FlatTreeInstance {
+        let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+        ft.instantiate(&ModeAssignment::uniform(4, PodMode::Clos))
+    }
+
+    #[test]
+    fn routes_every_pair_with_shortest_lengths() {
+        let inst = clos_instance();
+        let g = &inst.net.graph;
+        let rt = TwoLevelRouting::compile(&inst);
+        let servers = &inst.net.servers;
+        for (i, &s) in servers.iter().enumerate().step_by(7) {
+            for (j, &d) in servers.iter().enumerate().step_by(5) {
+                if s == d {
+                    continue;
+                }
+                let p = rt.route(g, s, d).unwrap();
+                p.validate(g).unwrap();
+                assert_eq!(p.src(), s);
+                assert_eq!(p.dst(), d);
+                let sp = netgraph::dijkstra::hop_distance(g, s, d).unwrap();
+                assert_eq!(p.len(), sp, "pair ({i},{j}) not shortest");
+            }
+        }
+    }
+
+    #[test]
+    fn upward_traffic_spreads_across_uplinks() {
+        let inst = clos_instance();
+        let g = &inst.net.graph;
+        let rt = TwoLevelRouting::compile(&inst);
+        // Destinations in a remote pod with different suffixes take
+        // different aggs out of the source edge.
+        let src = inst.net.pod_servers[0][0];
+        let remote = &inst.net.pod_servers[2];
+        let mut first_hops = std::collections::HashSet::new();
+        for &d in remote.iter().take(4) {
+            let p = rt.route(g, src, d).unwrap();
+            first_hops.insert(p.nodes[2]); // the agg after the edge
+        }
+        assert!(first_hops.len() > 1, "no spreading: {first_hops:?}");
+    }
+
+    #[test]
+    fn state_is_small_and_local() {
+        let inst = clos_instance();
+        let rt = TwoLevelRouting::compile(&inst);
+        // Edge switch: 4 local servers + 4 uplinks = 8 entries.
+        let e = inst.pod_edges[0][0];
+        assert_eq!(rt.entries_at(e), 8);
+        // Agg: 16 pod servers + 4 uplinks.
+        let a = inst.pod_aggs[0][0];
+        assert_eq!(rt.entries_at(a), 20);
+        // Core: one entry per server (64), no uplinks.
+        assert_eq!(rt.entries_at(inst.cores[0]), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires Clos mode")]
+    fn rejects_converted_topologies() {
+        let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+        let global = ft.instantiate(&ModeAssignment::uniform(4, PodMode::Global));
+        TwoLevelRouting::compile(&global);
+    }
+}

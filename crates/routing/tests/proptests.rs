@@ -1,0 +1,84 @@
+//! Property tests for addressing and source routing.
+
+use netgraph::{Graph, NodeId, NodeKind};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use routing::addressing::{addresses_for_k, FlatTreeAddress, TopologyModeId};
+use routing::source_routing::{
+    compile_path, encode_ports, forward, SourceRouteHeader, INITIAL_TTL,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Address encode/decode is a bijection on the valid field ranges.
+    #[test]
+    fn address_roundtrip(
+        switch_id in 0u16..(1 << 13),
+        path_id in 0u8..8,
+        mode_idx in 0usize..3,
+        server_id in 0u8..64,
+    ) {
+        let a = FlatTreeAddress {
+            switch_id,
+            path_id,
+            mode: TopologyModeId::ALL[mode_idx],
+            server_id,
+        };
+        prop_assert_eq!(FlatTreeAddress::decode(a.encode()), Some(a));
+        // /24 prefix is exactly `10 | switch id | path id`.
+        prop_assert_eq!(
+            a.prefix24(),
+            (10u32 << 16) | ((switch_id as u32) << 3) | (path_id as u32)
+        );
+    }
+
+    /// sqrt-of-k address counts: a² >= k and (a-1)² < k.
+    #[test]
+    fn address_count_tight(k in 1usize..=64) {
+        let a = addresses_for_k(k);
+        prop_assert!(a * a >= k);
+        prop_assert!((a - 1) * (a - 1) < k);
+    }
+
+    /// Any random simple path of <= 6 switch hops through a random
+    /// network is exactly reproduced by the MAC/TTL forwarding engine.
+    #[test]
+    fn source_routing_follows_random_paths(
+        switches in 3usize..16,
+        extra in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = Graph::new();
+        let sw: Vec<NodeId> = (0..switches)
+            .map(|i| g.add_node(NodeKind::GenericSwitch, format!("sw{i}")))
+            .collect();
+        for i in 1..switches {
+            let p = rng.gen_range(0..i);
+            g.add_duplex_link(sw[i], sw[p], 10.0);
+        }
+        for _ in 0..extra {
+            let a = rng.gen_range(0..switches);
+            let b = rng.gen_range(0..switches);
+            if a != b && g.find_link(sw[a], sw[b]).is_none() {
+                g.add_duplex_link(sw[a], sw[b], 10.0);
+            }
+        }
+        let s = g.add_node(NodeKind::Server, "s");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, sw[0], 10.0);
+        g.add_duplex_link(t, sw[switches - 1], 10.0);
+        let Some(path) = netgraph::dijkstra::shortest_path(&g, s, t) else {
+            return Ok(());
+        };
+        if path.nodes.len() - 2 > routing::source_routing::MAX_HOPS {
+            return Ok(()); // too long to encode; compile_path rejects it
+        }
+        let ports = compile_path(&g, &path).unwrap();
+        let header = SourceRouteHeader { mac: encode_ports(&ports), ttl: INITIAL_TTL };
+        let visited = forward(&g, path.nodes[1], header, ports.len()).unwrap();
+        prop_assert_eq!(visited, path.nodes[1..].to_vec());
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's hardware testbed, reproduced in simulation (§5.3, §5.4).
+//!
+//! The physical rig was: 5 × 48-port packet switches partitioned into
+//! 4 pods of (2 edge + 2 aggregation) switches plus 4 core switches, one
+//! 192-port 3D-MEMS optical circuit switch hosting the converter-switch
+//! partitions, and 24 servers — i.e. exactly the Figure 2 example network
+//! with `m = n = 1`, 3 servers per edge switch and 1.5:1 oversubscription.
+//! [`rig::testbed_params`] builds that network from the generic flat-tree
+//! builder; nothing here is hand-wired.
+//!
+//! * [`iperf`] — the Figure 10 experiment: every server sends iPerf
+//!   traffic to its counterparts in the other three pods; the topology is
+//!   converted live (Clos → global → local …) and the bidirectional core
+//!   bandwidth is sampled every 0.5 s, including the conversion outage
+//!   and the TCP ramp-back (2–2.5 s adaptation).
+//! * [`apps`] — the Figure 11 applications: Spark Word2Vec torrent
+//!   broadcast and Hadoop/Tez Sort shuffle, as round-structured flow sets
+//!   played through the fluid simulator with serialization overheads.
+
+pub mod apps;
+pub mod iperf;
+pub mod rig;
+
+pub use rig::{testbed_params, TestbedRig};

@@ -1,0 +1,109 @@
+//! The Figure 2 / §5.3 testbed network.
+
+use control::{Controller, DelayModel};
+use flat_tree::{FlatTree, FlatTreeInstance, FlatTreeParams, ModeAssignment, PodMode};
+use topology::ClosParams;
+
+/// Flat-tree parameters of the 20-switch / 24-server testbed:
+/// 4 pods × (2 edge + 2 agg) + 4 cores, 3 servers per edge, `m = n = 1`.
+pub fn testbed_params() -> FlatTreeParams {
+    let clos = ClosParams {
+        pods: 4,
+        edges_per_pod: 2,
+        aggs_per_pod: 2,
+        servers_per_edge: 3,
+        edge_uplinks: 2,
+        agg_uplinks: 2,
+        num_cores: 4,
+        link_gbps: 10.0,
+    };
+    FlatTreeParams::new(clos, 1, 1)
+}
+
+/// The testbed: a flat-tree plus its controller and cached per-mode
+/// instances. `k = 4` concurrent paths, "as it yields the best
+/// performance in the simulation of this network" (§5.3).
+pub struct TestbedRig {
+    /// The controller managing the network (starts in Clos mode).
+    pub controller: Controller,
+    /// k for k-shortest-path routing.
+    pub k: usize,
+}
+
+impl TestbedRig {
+    /// Builds the rig.
+    pub fn new() -> Self {
+        let ft = FlatTree::new(testbed_params()).expect("testbed params are valid");
+        Self {
+            controller: Controller::new(ft, 4, DelayModel::testbed()),
+            k: 4,
+        }
+    }
+
+    /// The instance for a uniform mode.
+    pub fn instance(&self, mode: PodMode) -> FlatTreeInstance {
+        let pods = self.controller.flat_tree().pods();
+        self.controller
+            .artifacts(&ModeAssignment::uniform(pods, mode))
+            .instance
+    }
+}
+
+impl Default for TestbedRig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{metrics, NodeKind};
+
+    #[test]
+    fn matches_the_paper_inventory() {
+        let p = testbed_params();
+        p.validate().unwrap();
+        // 20 switches: 4 pods x 4 + 4 cores; 24 servers.
+        assert_eq!(p.clos.pods * (p.clos.edges_per_pod + p.clos.aggs_per_pod) + p.clos.num_cores, 20);
+        assert_eq!(p.clos.total_servers(), 24);
+        // 1.5:1 oversubscription (§5.3).
+        assert!((p.clos.edge_oversubscription() - 1.5).abs() < 1e-12);
+        // 8 converter switches per... 4 pods x 2 edges x (1+1) = 16 OCS
+        // partitions.
+        assert_eq!(p.total_converters(), 16);
+    }
+
+    #[test]
+    fn clos_core_capacity_is_160g() {
+        // §5.3: "the Clos network has 24 x 10Gbps / 1.5 = 160Gbps total
+        // [core] bandwidth".
+        let rig = TestbedRig::new();
+        let inst = rig.instance(PodMode::Clos);
+        let g = &inst.net.graph;
+        let agg_core = g.capacity_between(NodeKind::AggSwitch, NodeKind::CoreSwitch);
+        assert!((agg_core - 160.0).abs() < 1e-9, "got {agg_core}");
+    }
+
+    #[test]
+    fn all_modes_instantiate_and_validate() {
+        let rig = TestbedRig::new();
+        for mode in [PodMode::Clos, PodMode::Local, PodMode::Global] {
+            let inst = rig.instance(mode);
+            inst.net.validate().unwrap();
+            assert_eq!(inst.net.num_servers(), 24);
+        }
+    }
+
+    #[test]
+    fn global_mode_moves_servers_to_cores() {
+        let rig = TestbedRig::new();
+        let inst = rig.instance(PodMode::Global);
+        let on_core: usize =
+            metrics::attached_server_counts(&inst.net.graph, NodeKind::CoreSwitch)
+                .iter()
+                .map(|&(_, c)| c)
+                .sum();
+        assert_eq!(on_core, 8); // 4 pods x 2 edges x m=1
+    }
+}

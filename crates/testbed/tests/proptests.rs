@@ -1,0 +1,39 @@
+//! Property tests for the testbed experiments.
+
+use flat_tree::PodMode;
+use proptest::prelude::*;
+use testbed::iperf::{counterpart_pairs, steady_state_gbps_with_k};
+use testbed::TestbedRig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The counterpart pattern is symmetric: (a, b) appears iff (b, a)
+    /// does, and every server sends exactly pods-1 flows.
+    #[test]
+    fn counterpart_symmetry(pods in 2usize..6, per_pod in 1usize..8) {
+        let pairs = counterpart_pairs(pods, per_pod);
+        let set: std::collections::HashSet<(usize, usize)> =
+            pairs.iter().copied().collect();
+        prop_assert_eq!(set.len(), pairs.len());
+        for &(a, b) in &pairs {
+            prop_assert!(set.contains(&(b, a)));
+        }
+        for s in 0..pods * per_pod {
+            let out = pairs.iter().filter(|&&(a, _)| a == s).count();
+            prop_assert_eq!(out, pods - 1);
+        }
+    }
+
+    /// For any k, the testbed's total iPerf throughput is positive and
+    /// bounded by the servers' aggregate NIC rate.
+    #[test]
+    fn steady_state_bounded(k in 1usize..10) {
+        let rig = TestbedRig::new();
+        for mode in [PodMode::Clos, PodMode::Local, PodMode::Global] {
+            let t = steady_state_gbps_with_k(&rig, mode, k);
+            prop_assert!(t > 0.0);
+            prop_assert!(t <= 240.0 + 1e-6, "{mode:?} k={k}: {t}"); // 24 x 10G
+        }
+    }
+}

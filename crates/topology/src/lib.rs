@@ -1,0 +1,27 @@
+//! Data center topology builders for the flat-tree reproduction.
+//!
+//! The paper compares four fixed topology families built from the *same
+//! device set* (§2.1, §5.2):
+//!
+//! * [`clos`] — generic multi-rooted Clos trees, parameterized exactly like
+//!   Table 2 (topo-1 … topo-6), with [`fat_tree`]`(k)` as the classic
+//!   special case used in Table 1;
+//! * [`random_graph`] — Jellyfish-style uniform random graphs with servers
+//!   spread uniformly across all switches;
+//! * [`two_stage`] — two-stage ("regional") random graphs: a random graph
+//!   inside each pod plus a random super-graph of pods and core switches.
+//!
+//! All builders return a [`DcNetwork`], the shared shape every higher layer
+//! (traffic generation, routing, simulation) consumes. All randomness is
+//! seeded `ChaCha8`; identical parameters and seed produce identical
+//! networks byte-for-byte.
+
+pub mod clos;
+pub mod network;
+pub mod random_graph;
+pub mod two_stage;
+
+pub use clos::{fat_tree, ClosNetwork, ClosParams};
+pub use network::DcNetwork;
+pub use random_graph::RandomGraphParams;
+pub use two_stage::TwoStageParams;

@@ -1,0 +1,354 @@
+//! Jellyfish-style random graph networks (\[41\] in the paper).
+//!
+//! "Servers are distributed uniformly across all switches in the random
+//! graph" (§2.1). Construction follows the incremental Jellyfish recipe:
+//! every switch exposes a port budget; servers claim ports round-robin;
+//! the remaining ports ("stubs") are paired uniformly at random subject to
+//! *simple-graph* constraints (no self-loops, no duplicate cables), with
+//! the standard edge-swap fix-up when the process gets stuck. At most one
+//! stub can remain unmatched (odd total), which is left unused exactly as
+//! a real deployment would leave a port dark.
+
+use crate::clos::ClosParams;
+use crate::network::DcNetwork;
+use netgraph::{Graph, NodeId, NodeKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Parameters of a random graph network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomGraphParams {
+    /// Port budget per switch (length = number of switches).
+    pub switch_ports: Vec<usize>,
+    /// Total number of servers, spread round-robin over switches.
+    pub num_servers: usize,
+    /// Capacity of one physical link in Gbps.
+    pub link_gbps: f64,
+    /// RNG seed; the build is a pure function of params + seed.
+    pub seed: u64,
+}
+
+impl RandomGraphParams {
+    /// A regular random graph: `n` switches of `ports` ports each.
+    pub fn regular(n: usize, ports: usize, num_servers: usize, seed: u64) -> Self {
+        Self {
+            switch_ports: vec![ports; n],
+            num_servers,
+            link_gbps: 10.0,
+            seed,
+        }
+    }
+
+    /// The device-equivalent random graph of a Clos network (§2.1: "use
+    /// the same devices to form random graph networks"): one entry per
+    /// edge/aggregation/core switch with its full Clos port count, and the
+    /// same server population.
+    pub fn from_clos(p: &ClosParams, seed: u64) -> Self {
+        let mut ports = Vec::new();
+        let es_ports = p.servers_per_edge + p.edge_uplinks;
+        let as_ports = p.edges_per_pod * p.edge_uplinks / p.aggs_per_pod + p.agg_uplinks;
+        let cs_ports = p.pods * p.aggs_per_pod * p.agg_uplinks / p.num_cores;
+        for _ in 0..p.pods * p.edges_per_pod {
+            ports.push(es_ports);
+        }
+        for _ in 0..p.pods * p.aggs_per_pod {
+            ports.push(as_ports);
+        }
+        for _ in 0..p.num_cores {
+            ports.push(cs_ports);
+        }
+        Self {
+            switch_ports: ports,
+            num_servers: p.total_servers(),
+            link_gbps: p.link_gbps,
+            seed,
+        }
+    }
+
+    /// Builds the network.
+    ///
+    /// Random matchings can, with small probability (tiny instances,
+    /// unlucky seeds), leave the graph disconnected; like operational
+    /// Jellyfish tooling we verify connectivity and deterministically
+    /// retry with derived seeds. Identical params + seed always produce
+    /// the identical network.
+    pub fn build(&self) -> DcNetwork {
+        for attempt in 0..64u64 {
+            let net = self.build_once(self.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            if net.validate().is_ok() {
+                return net;
+            }
+        }
+        panic!("random graph disconnected after 64 attempts; params too degenerate");
+    }
+
+    fn build_once(&self, seed: u64) -> DcNetwork {
+        let n = self.switch_ports.len();
+        assert!(n >= 2, "need at least two switches");
+        let total_ports: usize = self.switch_ports.iter().sum();
+        assert!(
+            self.num_servers <= total_ports,
+            "not enough ports for servers"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        // Server placement: round-robin, but every switch keeps a reserve
+        // of network ports (half its budget, relaxed only if servers would
+        // not fit otherwise) — a switch drowned in servers would fall off
+        // the fabric.
+        let mut free = self.switch_ports.clone();
+        let quota = proportional_quota(&self.switch_ports, self.num_servers);
+        let mut placed = vec![0usize; n];
+        let mut server_home = Vec::with_capacity(self.num_servers);
+        let mut i = 0;
+        for _ in 0..self.num_servers {
+            let mut hops = 0;
+            while placed[i] >= quota[i] {
+                i = (i + 1) % n;
+                hops += 1;
+                assert!(hops <= n, "ran out of ports while placing servers");
+            }
+            server_home.push(i);
+            placed[i] += 1;
+            free[i] -= 1;
+            i = (i + 1) % n;
+        }
+
+        let links = random_matching(&mut free, &mut rng);
+
+        // Materialize.
+        let mut g = Graph::new();
+        let switches: Vec<NodeId> = (0..n)
+            .map(|s| g.add_node(NodeKind::GenericSwitch, format!("rsw{s}")))
+            .collect();
+        let mut servers = Vec::with_capacity(self.num_servers);
+        for (q, &home) in server_home.iter().enumerate() {
+            let s = g.add_node(NodeKind::Server, format!("rsrv{q}"));
+            g.add_duplex_link(s, switches[home], self.link_gbps);
+            servers.push(s);
+        }
+        for (a, b) in links {
+            g.add_duplex_link(switches[a], switches[b], self.link_gbps);
+        }
+        let net = DcNetwork {
+            name: "random-graph".into(),
+            graph: g,
+            servers,
+            pod_servers: Vec::new(),
+            edges: Vec::new(),
+            aggs: Vec::new(),
+            cores: Vec::new(),
+        };
+        net
+    }
+}
+
+/// Per-switch quota for distributing `count` consumers proportionally to
+/// the available port budget (largest-remainder rounding), capping each
+/// switch at `avail - 1` so it keeps at least one network port. The cap
+/// is relaxed to `avail` only if the total would not fit otherwise.
+///
+/// Proportional (rather than strictly uniform) spreading is what keeps a
+/// heterogeneous device set balanced: every switch devotes the same
+/// *fraction* of its ports to servers, so small switches are not drowned.
+pub(crate) fn proportional_quota(avail: &[usize], count: usize) -> Vec<usize> {
+    let total: usize = avail.iter().sum();
+    assert!(total >= count, "not enough ports: {total} < {count}");
+    let cap: Vec<usize> = if total - avail.len() >= count {
+        avail.iter().map(|&a| a.saturating_sub(1)).collect()
+    } else {
+        avail.to_vec()
+    };
+    // Largest-remainder apportionment under caps.
+    let mut quota: Vec<usize> = Vec::with_capacity(avail.len());
+    let mut rems: Vec<(f64, usize)> = Vec::with_capacity(avail.len());
+    let mut assigned = 0usize;
+    for (i, &a) in avail.iter().enumerate() {
+        let exact = a as f64 * count as f64 / total as f64;
+        let base = (exact.floor() as usize).min(cap[i]);
+        quota.push(base);
+        assigned += base;
+        rems.push((exact - base as f64, i));
+    }
+    rems.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut i = 0;
+    while assigned < count {
+        let idx = rems[i % rems.len()].1;
+        if quota[idx] < cap[idx] {
+            quota[idx] += 1;
+            assigned += 1;
+        }
+        i += 1;
+        assert!(i < rems.len() * (count + 2), "quota assignment stuck");
+    }
+    quota
+}
+
+/// Pairs free ports uniformly at random into a *simple* graph over switch
+/// indices, applying Jellyfish edge swaps when stuck. Consumes `free`.
+pub(crate) fn random_matching(free: &mut [usize], rng: &mut ChaCha8Rng) -> Vec<(usize, usize)> {
+    let n = free.len();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut links: Vec<(usize, usize)> = Vec::new();
+
+    'outer: loop {
+        let candidates: Vec<usize> = (0..n).filter(|&s| free[s] > 0).collect();
+        let free_total: usize = candidates.iter().map(|&s| free[s]).sum();
+        if free_total <= 1 {
+            break;
+        }
+        // Try random pairs first.
+        for _ in 0..50 {
+            let a = *candidates.choose(rng).expect("nonempty");
+            let b = *candidates.choose(rng).expect("nonempty");
+            if a != b && !adj[a].contains(&b) {
+                adj[a].insert(b);
+                adj[b].insert(a);
+                free[a] -= 1;
+                free[b] -= 1;
+                links.push((a, b));
+                continue 'outer;
+            }
+        }
+        // Stuck: either only one switch has free ports, or all candidate
+        // pairs already exist. Do the Jellyfish swap: take a switch u with
+        // free ports, remove a random link (x, y) with x,y ∉ adj(u)∪{u},
+        // and add (u, x), (u, y).
+        let u = match candidates.iter().copied().find(|&s| free[s] >= 2) {
+            Some(u) => u,
+            // A single leftover stub cannot be fixed; leave it dark.
+            None if candidates.len() == 1 => break,
+            None => candidates[rng.gen_range(0..candidates.len())],
+        };
+        let mut swap_done = false;
+        let mut order: Vec<usize> = (0..links.len()).collect();
+        order.shuffle(rng);
+        for li in order {
+            let (x, y) = links[li];
+            if x == u || y == u || adj[u].contains(&x) || adj[u].contains(&y) {
+                continue;
+            }
+            if free[u] >= 2 {
+                // Replace (x,y) with (u,x) and (u,y).
+                adj[x].remove(&y);
+                adj[y].remove(&x);
+                links.swap_remove(li);
+                for w in [x, y] {
+                    adj[u].insert(w);
+                    adj[w].insert(u);
+                    links.push((u, w));
+                }
+                free[u] -= 2;
+                swap_done = true;
+                break;
+            } else {
+                // free[u] == 1: rewire one end only; y gets a free port back
+                // and the loop continues.
+                adj[x].remove(&y);
+                adj[y].remove(&x);
+                links.swap_remove(li);
+                adj[u].insert(x);
+                adj[x].insert(u);
+                links.push((u, x));
+                free[u] -= 1;
+                free[y] += 1;
+                swap_done = true;
+                break;
+            }
+        }
+        if !swap_done {
+            break; // degenerate instance (e.g. clique saturated); leave dark
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::metrics;
+
+    #[test]
+    fn regular_graph_has_regular_degree() {
+        let net = RandomGraphParams::regular(20, 8, 40, 7).build();
+        net.validate().unwrap();
+        // Each switch: 2 servers + 6 network links (all ports used, even
+        // total), so switch degree is exactly 8.
+        let (min, max, _) =
+            metrics::degree_stats(&net.graph, NodeKind::GenericSwitch).unwrap();
+        assert_eq!((min, max), (8, 8));
+    }
+
+    #[test]
+    fn servers_spread_uniformly() {
+        let net = RandomGraphParams::regular(10, 10, 40, 3).build();
+        let counts = metrics::attached_server_counts(&net.graph, NodeKind::GenericSwitch);
+        assert!(counts.iter().all(|&(_, c)| c == 4));
+    }
+
+    #[test]
+    fn graph_is_simple() {
+        let net = RandomGraphParams::regular(16, 6, 16, 11).build();
+        let g = &net.graph;
+        let mut seen = std::collections::HashSet::new();
+        for l in g.link_ids() {
+            let info = g.link(l);
+            if g.node(info.src).kind.is_switch() && g.node(info.dst).kind.is_switch() {
+                assert!(info.src != info.dst);
+                assert!(
+                    seen.insert((info.src, info.dst)),
+                    "duplicate cable {:?}->{:?}",
+                    info.src,
+                    info.dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = RandomGraphParams::regular(12, 6, 24, 5).build();
+        let b = RandomGraphParams::regular(12, 6, 24, 5).build();
+        let c = RandomGraphParams::regular(12, 6, 24, 6).build();
+        let edges = |n: &DcNetwork| {
+            n.graph
+                .link_ids()
+                .map(|l| (n.graph.link(l).src, n.graph.link(l).dst))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(edges(&a), edges(&b));
+        assert_ne!(edges(&a), edges(&c));
+    }
+
+    #[test]
+    fn from_clos_preserves_device_budget() {
+        let p = ClosParams::mini();
+        let rg = RandomGraphParams::from_clos(&p, 1);
+        assert_eq!(rg.switch_ports.len(), 16 + 16 + 16); // ES + AS + CS
+        assert_eq!(rg.num_servers, p.total_servers());
+        let total_ports: usize = rg.switch_ports.iter().sum();
+        // Same cable budget as the Clos build (each cable = 2 ports):
+        // ES: 4 srv + 4 up = 8; AS: 4 down + 4 up = 8; CS: 4 ports.
+        assert_eq!(total_ports, 16 * 8 + 16 * 8 + 16 * 4);
+        let net = rg.build();
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn random_graph_shortens_paths_vs_clos() {
+        // The motivating claim of §1: a device-equivalent random graph has
+        // shorter average server-pair paths than the Clos it replaces.
+        let p = ClosParams::mini();
+        let clos = p.build();
+        let rg = RandomGraphParams::from_clos(&p, 42).build();
+        let apl_clos = metrics::avg_server_path_length(&clos.net.graph).unwrap();
+        let apl_rg = metrics::avg_server_path_length(&rg.graph).unwrap();
+        assert!(
+            apl_rg < apl_clos,
+            "random graph APL {apl_rg} should beat Clos APL {apl_clos}"
+        );
+    }
+}

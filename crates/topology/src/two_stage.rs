@@ -1,0 +1,283 @@
+//! Two-stage ("regional") random graphs (§2.1, \[41\]).
+//!
+//! "The two-stage random graph network first forms a random graph in each
+//! Pod and takes the Pods as super nodes to form another layer of random
+//! graph together with core switches. … servers in each Pod are distributed
+//! uniformly across switches in the Pod, and core switches take no
+//! servers."
+//!
+//! Built from the same device set as a [`ClosParams`] network:
+//!
+//! * stage 1: inside each pod, servers claim ports round-robin over the
+//!   pod's edge+aggregation switches; `a*h` ports per pod are reserved as
+//!   *external stubs* (the pod's contribution to the super graph, matching
+//!   the Clos pod's core-facing port budget); all remaining ports form a
+//!   simple random graph within the pod;
+//! * stage 2: external stubs of all pods and all core-switch ports are
+//!   paired uniformly at random, forbidding same-pod pairs. Repeated pairs
+//!   between the same physical switches aggregate into link capacity.
+
+use crate::clos::ClosParams;
+use crate::network::DcNetwork;
+use crate::random_graph::random_matching;
+use netgraph::{Graph, NodeId, NodeKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters of a two-stage random graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageParams {
+    /// The Clos network whose devices (and pod partition) are reused.
+    pub clos: ClosParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TwoStageParams {
+    /// Builds the network.
+    ///
+    /// Like [`crate::RandomGraphParams::build`], verifies connectivity
+    /// and deterministically retries with derived seeds (unlucky stub
+    /// pairings can strand a switch on tiny instances).
+    pub fn build(&self) -> DcNetwork {
+        for attempt in 0..64u64 {
+            let net = self.build_once(self.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            if net.validate().is_ok() {
+                return net;
+            }
+        }
+        panic!("two-stage random graph disconnected after 64 attempts");
+    }
+
+    fn build_once(&self, seed: u64) -> DcNetwork {
+        let p = &self.clos;
+        p.validate().expect("invalid ClosParams");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let es_ports = p.servers_per_edge + p.edge_uplinks;
+        let as_ports = p.edges_per_pod * p.edge_uplinks / p.aggs_per_pod + p.agg_uplinks;
+        let cs_ports = p.pods * p.aggs_per_pod * p.agg_uplinks / p.num_cores;
+        let external_per_pod = p.aggs_per_pod * p.agg_uplinks;
+        let switches_per_pod = p.edges_per_pod + p.aggs_per_pod;
+        let servers_per_pod = p.edges_per_pod * p.servers_per_edge;
+
+        let mut g = Graph::new();
+        let cores: Vec<NodeId> = (0..p.num_cores)
+            .map(|c| g.add_node(NodeKind::CoreSwitch, format!("core{c}")))
+            .collect();
+
+        let mut pod_servers: Vec<Vec<NodeId>> = Vec::with_capacity(p.pods);
+        let mut edges = Vec::new();
+        let mut aggs = Vec::new();
+        // Super-graph stubs: (physical switch, group id). Pods get groups
+        // 0..pods; core c gets its own group pods + c.
+        let mut stubs: Vec<(NodeId, usize)> = Vec::new();
+
+        for pod in 0..p.pods {
+            let mut pod_switches: Vec<NodeId> = Vec::with_capacity(switches_per_pod);
+            let mut free: Vec<usize> = Vec::with_capacity(switches_per_pod);
+            for j in 0..p.edges_per_pod {
+                let n = g.add_node(NodeKind::EdgeSwitch, format!("pod{pod}/rsw-e{j}"));
+                pod_switches.push(n);
+                free.push(es_ports);
+                edges.push(n);
+            }
+            for i in 0..p.aggs_per_pod {
+                let n = g.add_node(NodeKind::AggSwitch, format!("pod{pod}/rsw-a{i}"));
+                pod_switches.push(n);
+                free.push(as_ports);
+                aggs.push(n);
+            }
+            // External stubs first (round-robin, keeping one port), then
+            // servers proportionally to the remaining budget: every
+            // switch keeps the same fraction of ports for the pod fabric,
+            // so small switches are not drowned in servers.
+            let mut stub_count = vec![0usize; switches_per_pod];
+            {
+                let mut i = 0usize;
+                for _ in 0..external_per_pod {
+                    let mut hops = 0;
+                    while free[i] <= 1 {
+                        i = (i + 1) % switches_per_pod;
+                        hops += 1;
+                        assert!(hops <= switches_per_pod, "pod out of ports for stubs");
+                    }
+                    stubs.push((pod_switches[i], pod));
+                    stub_count[i] += 1;
+                    free[i] -= 1;
+                    i = (i + 1) % switches_per_pod;
+                }
+            }
+            let quota = crate::random_graph::proportional_quota(&free, servers_per_pod);
+            let mut placed = vec![0usize; switches_per_pod];
+            let mut servers = Vec::with_capacity(servers_per_pod);
+            let mut i = 0usize;
+            for q in 0..servers_per_pod {
+                let mut hops = 0;
+                while placed[i] >= quota[i] || free[i] == 0 {
+                    i = (i + 1) % switches_per_pod;
+                    hops += 1;
+                    assert!(hops <= switches_per_pod, "pod out of ports for servers");
+                }
+                let s = g.add_node(NodeKind::Server, format!("pod{pod}/rsrv{q}"));
+                g.add_duplex_link(s, pod_switches[i], p.link_gbps);
+                servers.push(s);
+                placed[i] += 1;
+                free[i] -= 1;
+                i = (i + 1) % switches_per_pod;
+            }
+            // Stage 1: intra-pod random graph over the remaining ports.
+            let intra = random_matching(&mut free, &mut rng);
+            for (x, y) in intra {
+                g.add_duplex_link(pod_switches[x], pod_switches[y], p.link_gbps);
+            }
+            pod_servers.push(servers);
+        }
+        for (c, &core) in cores.iter().enumerate() {
+            for _ in 0..cs_ports {
+                stubs.push((core, p.pods + c));
+            }
+        }
+
+        // Stage 2: random pairing of stubs across groups.
+        let mut mult: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
+        stubs.shuffle(&mut rng);
+        while stubs.len() >= 2 {
+            let (a_sw, a_grp) = stubs.pop().expect("len checked");
+            // Random partner from a different group; fall back to scan.
+            let mut partner = None;
+            for _ in 0..20 {
+                let i = rng.gen_range(0..stubs.len());
+                if stubs[i].1 != a_grp {
+                    partner = Some(i);
+                    break;
+                }
+            }
+            let partner = partner.or_else(|| stubs.iter().position(|&(_, grp)| grp != a_grp));
+            let Some(i) = partner else {
+                break; // only same-group stubs remain; leave them dark
+            };
+            let (b_sw, _) = stubs.swap_remove(i);
+            let key = if a_sw <= b_sw { (a_sw, b_sw) } else { (b_sw, a_sw) };
+            *mult.entry(key).or_insert(0) += 1;
+        }
+        for ((x, y), m) in mult {
+            g.add_duplex_link(x, y, p.link_gbps * m as f64);
+        }
+
+        let servers: Vec<NodeId> = pod_servers.iter().flatten().copied().collect();
+        let net = DcNetwork {
+            name: "two-stage-random-graph".into(),
+            graph: g,
+            servers,
+            pod_servers,
+            edges,
+            aggs,
+            cores,
+        };
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::metrics;
+
+    fn mini() -> DcNetwork {
+        TwoStageParams {
+            clos: ClosParams::mini(),
+            seed: 9,
+        }
+        .build()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let net = mini();
+        net.validate().unwrap();
+        assert_eq!(net.num_servers(), 64);
+        assert_eq!(net.num_pods(), 4);
+        assert_eq!(net.cores.len(), 16);
+    }
+
+    #[test]
+    fn cores_take_no_servers() {
+        let net = mini();
+        let counts = metrics::attached_server_counts(&net.graph, NodeKind::CoreSwitch);
+        assert!(counts.iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn servers_uniform_within_pods() {
+        let net = mini();
+        // 16 servers per pod over 8 switches -> exactly 2 each.
+        for kind in [NodeKind::EdgeSwitch, NodeKind::AggSwitch] {
+            let counts = metrics::attached_server_counts(&net.graph, kind);
+            assert!(
+                counts.iter().all(|&(_, c)| c == 2),
+                "nonuniform server spread: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn intra_pod_traffic_stays_local_length() {
+        // Servers in the same pod should be close (pod is an RG of 8
+        // switches), strictly closer on average than cross-pod pairs.
+        let net = mini();
+        let g = &net.graph;
+        let same_pod: Vec<_> = net.pod_servers[0].clone();
+        let d_same = netgraph::dijkstra::hop_distance(g, same_pod[0], same_pod[5]).unwrap();
+        let cross = net.pod_servers[2][0];
+        let d_cross = netgraph::dijkstra::hop_distance(g, same_pod[0], cross).unwrap();
+        assert!(d_same <= d_cross + 1, "intra-pod should not be farther");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = mini();
+        let b = mini();
+        let edges = |n: &DcNetwork| {
+            n.graph
+                .link_ids()
+                .map(|l| {
+                    let i = n.graph.link(l);
+                    (i.src, i.dst, i.capacity_gbps.to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(edges(&a), edges(&b));
+    }
+
+    #[test]
+    fn external_budget_matches_clos() {
+        // Total stage-2 capacity equals the Clos pod-core capacity budget:
+        // pods * a * h cables (a few may stay dark on odd leftovers).
+        let net = mini();
+        let g = &net.graph;
+        let p = ClosParams::mini();
+        let mut stage2 = 0.0;
+        for l in g.link_ids() {
+            let i = g.link(l);
+            // Count each duplex cable once (forward direction only).
+            if i.reverse.map(|r| r.0 > l.0).unwrap_or(false) {
+                let sk = g.node(i.src).kind;
+                let dk = g.node(i.dst).kind;
+                let core_end = sk == NodeKind::CoreSwitch || dk == NodeKind::CoreSwitch;
+                let label_src = &g.node(i.src).label;
+                let label_dst = &g.node(i.dst).label;
+                let cross_pod = label_src.split('/').next() != label_dst.split('/').next();
+                if core_end || (sk.is_switch() && dk.is_switch() && cross_pod) {
+                    stage2 += i.capacity_gbps;
+                }
+            }
+        }
+        let budget = (p.pods * p.aggs_per_pod * p.agg_uplinks) as f64 * p.link_gbps;
+        assert!(stage2 <= budget);
+        assert!(stage2 >= budget * 0.9, "stage2 {stage2} vs budget {budget}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Flow-level skeletons of the §5.4 applications.
+//!
+//! * **Spark broadcast (Word2Vec)**: the master broadcasts an updated
+//!   model to all workers each iteration using the "torrent" option —
+//!   BitTorrent-style dissemination where every server that already holds
+//!   the model serves a new one, doubling the holder set per round.
+//! * **Hadoop shuffle (Tez Sort)**: all mapper nodes send partitions to a
+//!   subset of reducer nodes, all-to-all between the two sets.
+//!
+//! The functions return *rounds* of (src, dst) pairs; the testbed crate
+//! plays each round through the fluid simulator and sums the round times
+//! to obtain communication-phase durations (Figure 11).
+
+/// Torrent-style broadcast rounds from `master` to `workers`.
+///
+/// Round `r` has `min(2^r, remaining)` senders, each serving one new
+/// receiver: 1→2→4→… until all workers hold the data. Each pair carries
+/// `bytes` (the full model; chunking would only rescale all rounds).
+pub fn torrent_broadcast_rounds(master: usize, workers: &[usize]) -> Vec<Vec<(usize, usize)>> {
+    assert!(!workers.contains(&master), "master cannot be a worker");
+    let mut holders = vec![master];
+    let mut pending: Vec<usize> = workers.to_vec();
+    let mut rounds = Vec::new();
+    while !pending.is_empty() {
+        let senders = holders.len().min(pending.len());
+        let mut round = Vec::with_capacity(senders);
+        let receivers: Vec<usize> = pending.drain(..senders).collect();
+        for (s, r) in holders.iter().take(senders).zip(&receivers) {
+            round.push((*s, *r));
+        }
+        holders.extend(receivers);
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// The shuffle: every mapper sends one partition to every reducer.
+/// Self-pairs (a node that is both mapper and reducer) are skipped — the
+/// data stays local.
+pub fn shuffle_pairs(mappers: &[usize], reducers: &[usize]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(mappers.len() * reducers.len());
+    for &m in mappers {
+        for &r in reducers {
+            if m != r {
+                pairs.push((m, r));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_doubles_and_covers_everyone() {
+        let workers: Vec<usize> = (1..24).collect();
+        let rounds = torrent_broadcast_rounds(0, &workers);
+        // 23 workers: rounds of 1, 2, 4, 8, 8 receivers.
+        let sizes: Vec<usize> = rounds.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![1, 2, 4, 8, 8]);
+        let received: std::collections::HashSet<usize> =
+            rounds.iter().flatten().map(|&(_, d)| d).collect();
+        assert_eq!(received.len(), 23);
+        // Every sender already held the data when it sent.
+        let mut holders = std::collections::HashSet::from([0usize]);
+        for round in &rounds {
+            for &(s, _) in round {
+                assert!(holders.contains(&s), "{s} sent before holding");
+            }
+            for &(_, d) in round {
+                holders.insert(d);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_single_worker() {
+        let rounds = torrent_broadcast_rounds(5, &[7]);
+        assert_eq!(rounds, vec![vec![(5, 7)]]);
+    }
+
+    #[test]
+    fn shuffle_is_bipartite_all_to_all() {
+        let pairs = shuffle_pairs(&[0, 1, 2, 3], &[2, 3]);
+        // 4 mappers x 2 reducers - 2 self pairs.
+        assert_eq!(pairs.len(), 6);
+        assert!(!pairs.contains(&(2, 2)));
+        assert!(pairs.contains(&(0, 2)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Workload generation for the flat-tree evaluation.
+//!
+//! Workloads are defined over **abstract server indices** `0..n`, so one
+//! workload can be placed onto any network family (Clos, random graph,
+//! flat-tree mode): index `i` maps to `DcNetwork::servers[i]`, whose
+//! canonical order is pod-major/rack-major. Locality is therefore a
+//! property of the workload's index blocks — exactly the paper's
+//! methodology, where traces inferred from Facebook data are replayed on
+//! each candidate network (§5.2).
+//!
+//! * [`patterns`] — the §5.1 synthetic patterns: permutation, pod stride,
+//!   hot spot, many-to-many, and Table 1's clustered all-to-all.
+//! * [`traces`] — seeded synthesizers for the four production traces
+//!   (Hadoop-1, Hadoop-2, Web, Cache) reproducing the published locality
+//!   mixes and heavy-tailed flow sizes.
+//! * [`apps`] — flow-level skeletons of the §5.4 applications: Spark
+//!   torrent broadcast rounds and Hadoop/Tez shuffle.
+
+pub mod apps;
+pub mod patterns;
+pub mod traces;
+
+use serde::{Deserialize, Serialize};
+
+/// One flow of a workload, over abstract server indices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Unique id (dense, in generation order).
+    pub id: u64,
+    /// Source server index.
+    pub src: usize,
+    /// Destination server index.
+    pub dst: usize,
+    /// Flow size in bytes (ignored by pure throughput experiments).
+    pub bytes: f64,
+    /// Arrival time in seconds.
+    pub start: f64,
+}
+
+/// A named batch of flows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Human-readable name, e.g. `"traffic-1 permutation"`.
+    pub name: String,
+    /// The flows, sorted by `start`.
+    pub flows: Vec<Flow>,
+}
+
+impl Workload {
+    /// Builds from (src, dst) pairs, all starting at t=0 with equal size.
+    pub fn simultaneous(name: impl Into<String>, pairs: &[(usize, usize)], bytes: f64) -> Self {
+        let flows = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dst))| Flow {
+                id: i as u64,
+                src,
+                dst,
+                bytes,
+                start: 0.0,
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            flows,
+        }
+    }
+
+    /// Validates indices against a server count.
+    pub fn validate(&self, num_servers: usize) -> Result<(), String> {
+        for f in &self.flows {
+            if f.src >= num_servers || f.dst >= num_servers {
+                return Err(format!("flow {} out of range", f.id));
+            }
+            if f.src == f.dst {
+                return Err(format!("flow {} is a self-flow", f.id));
+            }
+            if !(f.bytes > 0.0) {
+                return Err(format!("flow {} has nonpositive size", f.id));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for workload generation.
+
+use proptest::prelude::*;
+use traffic::patterns;
+use traffic::traces::{measure_locality, LocalityMix, SizeDist, TraceParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Permutation is always a derangement with every server active.
+    #[test]
+    fn permutation_is_derangement(n in 2usize..400, seed in any::<u64>()) {
+        let pairs = patterns::permutation(n, seed);
+        prop_assert_eq!(pairs.len(), n);
+        let mut dsts = vec![false; n];
+        for &(s, d) in &pairs {
+            prop_assert_ne!(s, d);
+            prop_assert!(!dsts[d]);
+            dsts[d] = true;
+        }
+    }
+
+    /// Clustered all-to-all: every in-cluster ordered pair exactly once.
+    #[test]
+    fn all_to_all_is_complete(n in 4usize..200, c in 2usize..20) {
+        let pairs = patterns::clustered_all_to_all(n, c);
+        let mut seen = std::collections::HashSet::new();
+        for &(s, d) in &pairs {
+            prop_assert_eq!(s / c, d / c);
+            prop_assert!(seen.insert((s, d)));
+        }
+        let full = (n / c) * c * (c - 1);
+        let rem = n % c;
+        let tail = if rem >= 2 { rem * (rem - 1) } else { 0 };
+        prop_assert_eq!(pairs.len(), full + tail);
+    }
+
+    /// Synthesized traces respect their locality mix within tolerance and
+    /// never emit self-flows or empty flows.
+    #[test]
+    fn traces_respect_locality(
+        rack_frac in 0.0f64..0.8,
+        pod_extra in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let pod_frac = pod_extra.min(1.0 - rack_frac - 0.01).max(0.0);
+        let params = TraceParams {
+            name: "prop".into(),
+            num_servers: 128,
+            rack_size: 8,
+            pod_size: 32,
+            locality: LocalityMix {
+                intra_rack: rack_frac,
+                intra_pod: pod_frac,
+            },
+            sizes: SizeDist {
+                elephant_fraction: 0.2,
+                mice_bytes: (1e3, 1e5),
+                elephant_bytes: (1e5, 1e7),
+            },
+            flows_per_sec: 2000.0,
+            duration_s: 1.0,
+            seed,
+        };
+        let w = params.generate();
+        prop_assert!(w.validate(128).is_ok());
+        prop_assert!(w.flows.len() > 500, "rate too low: {}", w.flows.len());
+        let (r, p, _) = measure_locality(&w, 8, 32);
+        prop_assert!((r - rack_frac).abs() < 0.08, "rack {r} vs {rack_frac}");
+        prop_assert!((p - pod_frac).abs() < 0.08, "pod {p} vs {pod_frac}");
+    }
+
+    /// Torrent broadcast: every worker receives exactly once, senders
+    /// always hold the data, and round count is ceil(log2) + tail.
+    #[test]
+    fn broadcast_rounds_sound(workers in 1usize..200) {
+        let ws: Vec<usize> = (1..=workers).collect();
+        let rounds = traffic::apps::torrent_broadcast_rounds(0, &ws);
+        let mut holders = std::collections::HashSet::from([0usize]);
+        let mut received = std::collections::HashSet::new();
+        for round in &rounds {
+            for &(s, d) in round {
+                prop_assert!(holders.contains(&s));
+                prop_assert!(received.insert(d));
+            }
+            for &(_, d) in round {
+                holders.insert(d);
+            }
+        }
+        prop_assert_eq!(received.len(), workers);
+        // Rounds at most ceil(log2(workers + 1)) + 1.
+        let bound = (workers + 1).next_power_of_two().trailing_zeros() as usize + 1;
+        prop_assert!(rounds.len() <= bound, "{} rounds for {workers}", rounds.len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Topology conversion under load: the controller, rule diffing, and the
+//! simulator agree about what a conversion does.
+
+use control::{Controller, DelayModel};
+use flat_tree::{FlatTree, FlatTreeParams, ModeAssignment, PodMode};
+use ft_bench::Scale;
+use netgraph::metrics;
+use topology::ClosParams;
+
+#[test]
+fn conversion_cycle_is_reversible_and_consistent() {
+    let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+    let ctl = Controller::new(ft, 2, DelayModel::testbed());
+    let pods = 4;
+
+    let to_global = ctl.convert(&ModeAssignment::uniform(pods, PodMode::Global));
+    let to_local = ctl.convert(&ModeAssignment::uniform(pods, PodMode::Local));
+    let back_to_global = ctl.convert(&ModeAssignment::uniform(pods, PodMode::Global));
+    let to_clos = ctl.convert(&ModeAssignment::uniform(pods, PodMode::Clos));
+
+    // Cycling back to a mode costs the same crosspoints both ways.
+    assert_eq!(to_local.crosspoints_changed, back_to_global.crosspoints_changed);
+    // Rule churn is symmetric between a mode pair.
+    assert_eq!(to_local.rules_deleted, back_to_global.rules_added);
+    assert_eq!(to_local.rules_added, back_to_global.rules_deleted);
+    // Conversions complete within seconds under the calibrated model —
+    // this network (64 servers, 48 switches) is larger than the paper's
+    // 20-switch testbed, whose Table 3 totals are ~1 s (asserted in
+    // `table3_experiment_matches_paper_structure`).
+    for r in [&to_global, &to_local, &back_to_global, &to_clos] {
+        assert!(r.total_sequential_ms() < 5000.0, "{r:?}");
+    }
+    assert_eq!(ctl.current_assignment().label(), "clos");
+}
+
+#[test]
+fn table3_experiment_matches_paper_structure() {
+    let d = ft_bench::experiments::table3::run(Scale::default());
+    assert_eq!(d.conversions.len(), 3);
+    for c in &d.conversions {
+        // OCS time is constant per the 3D-MEMS model.
+        assert_eq!(c.ocs_ms, 160.0);
+        // Delete/add delays are proportional to rule counts.
+        assert!(c.delete_ms > 0.0 && c.add_ms > 0.0);
+        let per_rule = c.delete_ms / c.rules_deleted as f64;
+        assert!((per_rule - c.add_ms / c.rules_added as f64).abs() < 1e-9);
+        // Table 3's totals are 0.8-1.3 s; ours must land in that decade.
+        let t = c.total_sequential_ms();
+        assert!(t > 300.0 && t < 2500.0, "total {t} ms");
+    }
+    // Rule population ordering matches §5.3: global > local > clos
+    // (242 > 180 > 76 on the paper's testbed).
+    let get = |m: &str| {
+        d.max_rules
+            .iter()
+            .find(|(mm, _)| mm == m)
+            .map(|&(_, v)| v)
+            .unwrap()
+    };
+    assert!(get("global") > get("local"));
+    assert!(get("local") > get("clos"));
+}
+
+#[test]
+fn hybrid_conversion_only_touches_named_pods() {
+    let ft = FlatTree::new(FlatTreeParams::new(ClosParams::mini(), 1, 1)).unwrap();
+    let per_pod_converters = ft.layout.converters.len() / ft.pods();
+    let ctl = Controller::new(ft, 2, DelayModel::testbed());
+    let hybrid = ModeAssignment::hybrid(vec![
+        PodMode::Global,
+        PodMode::Clos,
+        PodMode::Clos,
+        PodMode::Clos,
+    ]);
+    let r = ctl.convert(&hybrid);
+    assert_eq!(r.crosspoints_changed, per_pod_converters);
+    // And the resulting network is valid with mixed-zone structure.
+    let inst = ctl.current_instance();
+    inst.net.validate().unwrap();
+    let on_core: usize =
+        metrics::attached_server_counts(&inst.net.graph, netgraph::NodeKind::CoreSwitch)
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
+    assert!(on_core > 0, "global pod must relocate servers to cores");
+}

@@ -1,0 +1,80 @@
+//! Integration coverage of the extension experiments: resilience,
+//! hybrid zones, and the design ablations.
+
+use ft_bench::experiments::{ablation, hybrid, resilience};
+use ft_bench::Scale;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+fn resilience_global_keeps_absolute_lead_under_failures() {
+    let points = resilience::run(Scale::default());
+    for frac in resilience::FRACTIONS {
+        let get = |net: &str| {
+            points
+                .iter()
+                .find(|p| p.network == net && p.failed_fraction == frac)
+                .unwrap()
+        };
+        let global = get("ft-global");
+        let clos = get("ft-clos");
+        // The converted topology's absolute throughput stays ahead of the
+        // tree at every failure level.
+        assert!(
+            global.mean_gbps > clos.mean_gbps,
+            "at {frac}: global {} vs clos {}",
+            global.mean_gbps,
+            clos.mean_gbps
+        );
+        // k-shortest-path re-routing keeps everything connected through
+        // 20% random cable failures at this scale.
+        assert_eq!(global.disconnected, 0.0);
+        // Degradation is monotone-ish and bounded.
+        assert!(global.normalized_throughput > 0.5);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+fn hybrid_gives_each_tenant_its_best_mode() {
+    let rows = hybrid::run(Scale::default());
+    let get = |label: &str| rows.iter().find(|r| r.assignment == label).unwrap();
+    let clos = get("uniform-clos");
+    let global = get("uniform-global");
+    let hybrid = get("hybrid");
+    // The rack tenant is happiest under Clos; the wide tenant under
+    // global; the hybrid matches both winners within 5%.
+    assert!(hybrid.rack_tenant_ms <= clos.rack_tenant_ms * 1.05);
+    assert!(hybrid.wide_tenant_ms <= global.wide_tenant_ms * 1.05);
+    // And the uniform assignments each hurt the other tenant.
+    assert!(clos.wide_tenant_ms > hybrid.wide_tenant_ms * 1.5);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+fn ablation_pattern1_wins_path_length_and_profiling_is_sane() {
+    let cands = ablation::run(Scale::default());
+    let wiring: Vec<_> = cands.iter().filter(|c| c.knob == "wiring").collect();
+    if wiring.len() == 2 {
+        let p1 = wiring.iter().find(|c| c.label == "Pattern1").unwrap();
+        let p2 = wiring.iter().find(|c| c.label == "Pattern2").unwrap();
+        // §3.2: "Pattern 1 has better performance" (when feasible).
+        assert!(p1.global_apl <= p2.global_apl + 1e-9);
+    }
+    // The APL-minimizing (m, n) is within 10% of the throughput-best.
+    let mn: Vec<_> = cands.iter().filter(|c| c.knob == "mn").collect();
+    assert!(mn.len() >= 5, "sweep too small: {}", mn.len());
+    let apl_best = mn
+        .iter()
+        .min_by(|a, b| a.global_apl.partial_cmp(&b.global_apl).unwrap())
+        .unwrap();
+    let thr_best = mn
+        .iter()
+        .max_by(|a, b| a.permutation_gbps.partial_cmp(&b.permutation_gbps).unwrap())
+        .unwrap();
+    assert!(
+        apl_best.permutation_gbps >= thr_best.permutation_gbps * 0.90,
+        "profiling rule drifted: APL pick {} Gbps vs best {} Gbps",
+        apl_best.permutation_gbps,
+        thr_best.permutation_gbps
+    );
+}

@@ -1,0 +1,47 @@
+//! The §5.1 sandwich property: on every evaluated topology and traffic,
+//! MPTCP + k-shortest paths lands between (or near) the LP bounds, and
+//! the LP bounds themselves are ordered.
+
+use ft_bench::experiments::{fig6, fig7};
+use ft_bench::Scale;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+fn fig6_lp_bounds_and_mptcp_ordering() {
+    let cells = fig6::run(Scale::default());
+    assert_eq!(cells.len(), 16); // 4 panels x 4 traffics
+    for c in &cells {
+        // LP average (max utilization) >= LP minimum by construction.
+        assert!(c.lp_avg >= c.lp_min - 1e-9, "{c:?}");
+        for (i, &m) in c.mptcp.iter().enumerate() {
+            // MPTCP essentially never beats the utilization LP (both LP
+            // baselines are (1-eps)-approximations, so allow a few
+            // percent of slack), and stays within a modest factor of the
+            // fairness LP.
+            assert!(m <= c.lp_avg * 1.08 + 1e-6, "{c:?} k-index {i}");
+            assert!(m >= 0.5, "MPTCP collapsed: {c:?} k-index {i}");
+        }
+        // §5.1: "8 concurrent paths is sufficient, and larger k cannot
+        // improve the throughput further." At mini scale pod-stride can
+        // still gain a little from extra paths, so allow bounded slack.
+        assert!(c.mptcp[2] <= c.mptcp[1] * 1.25 + 1e-9, "{c:?}");
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+fn fig7_mptcp_balances_load_and_utilization() {
+    let boxes = fig7::run(Scale::default());
+    for traffic in ["traffic-1", "traffic-2", "traffic-3", "traffic-4"] {
+        let (mean_ok, spread_ok) = fig7::mptcp_balances(&boxes, traffic);
+        assert!(mean_ok, "{traffic}: MPTCP mean collapsed vs LP-min");
+        assert!(spread_ok, "{traffic}: MPTCP spread exceeds LP-avg");
+        // LP minimum is flat: max == min (it stops after maximizing the
+        // minimum, §5.1 / Figure 7).
+        let lp_min = boxes
+            .iter()
+            .find(|b| b.traffic == traffic && b.method == "LP min")
+            .unwrap();
+        assert!((lp_min.stats.4 - lp_min.stats.0).abs() < 1e-9);
+    }
+}
