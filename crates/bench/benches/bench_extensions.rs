@@ -14,17 +14,13 @@ fn bench(c: &mut Criterion) {
     let inst = ft.instantiate(&ModeAssignment::uniform(4, PodMode::Global));
     let g = &inst.net.graph;
     let (s, d) = (inst.net.servers[0], inst.net.servers[60]);
-    let dead = g.find_link(inst.pod_edges[0][0], inst.pod_aggs[0][0]).unwrap();
+    let dead = g
+        .find_link(inst.pod_edges[0][0], inst.pod_aggs[0][0])
+        .unwrap();
     c.bench_function("extensions/masked_ksp_reroute", |b| {
         b.iter(|| {
-            yen::k_shortest_paths_by(g, s, d, 8, |l| {
-                if l == dead {
-                    f64::INFINITY
-                } else {
-                    1.0
-                }
-            })
-            .len()
+            yen::k_shortest_paths_by(g, s, d, 8, |l| if l == dead { f64::INFINITY } else { 1.0 })
+                .len()
         })
     });
 

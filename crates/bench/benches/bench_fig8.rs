@@ -31,7 +31,10 @@ fn bench(c: &mut Criterion) {
                 &inst.net.graph,
                 &flows,
                 &SimConfig {
-                    transport: Transport::Mptcp { k: 8, coupled: true },
+                    transport: Transport::Mptcp {
+                        k: 8,
+                        coupled: true,
+                    },
                     ..SimConfig::default()
                 },
             )

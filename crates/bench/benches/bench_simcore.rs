@@ -1,0 +1,94 @@
+//! Criterion bench for the simulation engine refactor: the interned-path
+//! event loop (`flowsim::simulate`) against the preserved pre-refactor
+//! engine (`flowsim::reference::simulate_reference`) on the same
+//! mini-topo-1 permutation workload, with and without a mid-run cable
+//! failure. The two produce bit-identical results (pinned by
+//! `golden_simresult`); this measures the speedup of path interning, the
+//! reusable allocation workspace, and the failure-epoch route cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flat_tree::PodMode;
+use flowsim::reference::simulate_reference;
+use flowsim::{simulate, LinkFailure, SimConfig, Transport};
+use ft_bench::experiments::common;
+use netgraph::{Graph, LinkId};
+use topology::DcNetwork;
+
+fn first_cable(g: &Graph) -> LinkId {
+    g.link_ids()
+        .find(|&l| {
+            let info = g.link(l);
+            g.node(info.src).kind.is_switch() && g.node(info.dst).kind.is_switch()
+        })
+        .expect("switch-switch link")
+}
+
+fn workload(net: &DcNetwork, rounds: u64) -> Vec<flowsim::FlowSpec> {
+    // Repeated rounds of one permutation with staggered starts: a steady
+    // stream of arrival events at moderate concurrency, the regime the
+    // experiments (fig8 traces) actually run in.
+    let pairs = traffic::patterns::permutation(net.num_servers(), 11);
+    let mut flows = Vec::new();
+    for round in 0..rounds {
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            let id = round * pairs.len() as u64 + i as u64;
+            flows.push(flowsim::FlowSpec {
+                id,
+                src: net.servers[s],
+                dst: net.servers[d],
+                bytes: 2.5e7,
+                start: id as f64 * 1e-3,
+            });
+        }
+    }
+    flows
+}
+
+fn bench(c: &mut Criterion) {
+    let ft = common::flat_tree_over(common::mini_topo(1));
+    let net = common::instance(&ft, PodMode::Global).net;
+    let flows = workload(&net, 6);
+    let fail = vec![LinkFailure {
+        time: 0.05,
+        link: first_cable(&net.graph),
+    }];
+    let transports = [
+        ("ecmp", Transport::TcpEcmp),
+        (
+            "mptcp8",
+            Transport::Mptcp {
+                k: 8,
+                coupled: true,
+            },
+        ),
+    ];
+    for (tname, transport) in transports {
+        let cfg = SimConfig {
+            transport,
+            ..SimConfig::default()
+        };
+        let cfg_fail = SimConfig {
+            link_failures: fail.clone(),
+            ..cfg.clone()
+        };
+        c.bench_function(&format!("simcore/engine_{tname}"), |b| {
+            b.iter(|| simulate(&net.graph, &flows, &cfg).end_time)
+        });
+        c.bench_function(&format!("simcore/reference_{tname}"), |b| {
+            b.iter(|| simulate_reference(&net.graph, &flows, &cfg).end_time)
+        });
+        c.bench_function(&format!("simcore/engine_{tname}_failure"), |b| {
+            b.iter(|| simulate(&net.graph, &flows, &cfg_fail).end_time)
+        });
+        c.bench_function(&format!("simcore/reference_{tname}_failure"), |b| {
+            b.iter(|| simulate_reference(&net.graph, &flows, &cfg_fail).end_time)
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

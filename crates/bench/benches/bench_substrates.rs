@@ -4,7 +4,7 @@
 //! performance-tracking benches for regressions, not paper figures.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use flat_tree::{FlatTreeParams, ModeAssignment, PodMode, FlatTree};
+use flat_tree::{FlatTree, FlatTreeParams, ModeAssignment, PodMode};
 use mcf::maxmin::{weighted_max_min, Entity};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -28,7 +28,11 @@ fn bench(c: &mut Criterion) {
             let len = rng.gen_range(2..6);
             Entity {
                 weight: 1.0,
-                links: (0..len).map(|_| rng.gen_range(0..256)).collect::<std::collections::BTreeSet<_>>().into_iter().collect(),
+                links: (0..len)
+                    .map(|_| rng.gen_range(0..256))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect(),
             }
         })
         .collect();
@@ -52,7 +56,10 @@ fn bench(c: &mut Criterion) {
 
     // Ablation: wiring pattern 1 vs 2 — average path length of global
     // mode under each pattern (the §3.2 design choice).
-    for pattern in [flat_tree::WiringPattern::Pattern1, flat_tree::WiringPattern::Pattern2] {
+    for pattern in [
+        flat_tree::WiringPattern::Pattern1,
+        flat_tree::WiringPattern::Pattern2,
+    ] {
         let mut params = FlatTreeParams::new(ClosParams::mini(), 1, 1);
         params.wiring = pattern;
         if params.validate().is_err() {

@@ -5,7 +5,14 @@ use ft_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("flat-tree evaluation — scale: {}", if scale.full { "FULL (Table 2 sizes)" } else { "mini" });
+    println!(
+        "flat-tree evaluation — scale: {}",
+        if scale.full {
+            "FULL (Table 2 sizes)"
+        } else {
+            "mini"
+        }
+    );
     table1::print(&table1::run(scale));
     fig6::print(&fig6::run(scale));
     fig7::print(&fig7::run(scale));

@@ -8,6 +8,9 @@ fn main() {
     let out = fig8::run(scale);
     fig8::print(&out);
     if scale.json {
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     }
 }

@@ -73,7 +73,15 @@ fn main() {
 
     print_table(
         "Topology inventory",
-        &["network", "servers", "switches", "cables", "APL", "diam", "srv@E/A/C"],
+        &[
+            "network",
+            "servers",
+            "switches",
+            "cables",
+            "APL",
+            "diam",
+            "srv@E/A/C",
+        ],
         &rows,
     );
     if let Some(d) = dot_out {

@@ -3,7 +3,6 @@
 use flat_tree::{FlatTree, FlatTreeInstance, FlatTreeParams, ModeAssignment, PodMode};
 use flowsim::alloc::{connection_rates, ConnPaths};
 use mcf::Commodity;
-use netgraph::Graph;
 use routing::RouteTable;
 use topology::{ClosParams, DcNetwork};
 
@@ -103,12 +102,7 @@ pub fn mptcp_rates(net: &DcNetwork, pairs: &[(usize, usize)], k: usize) -> Vec<f
             }
         })
         .collect();
-    connection_rates(&caps(g), &conns)
-}
-
-/// Directed link capacities, indexed by `LinkId::idx()`.
-pub fn caps(g: &Graph) -> Vec<f64> {
-    g.link_ids().map(|l| g.link(l).capacity_gbps).collect()
+    connection_rates(&g.capacities(), &conns)
 }
 
 /// Index pairs → unit-demand commodities with NIC-rate demand.

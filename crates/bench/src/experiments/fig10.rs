@@ -58,10 +58,14 @@ pub fn print(d: &Digest) {
     let body: Vec<Vec<String>> = d
         .samples
         .iter()
-        .filter(|(t, _)| (t / 0.5).round() as usize % 20 == 0)
+        .filter(|(t, _)| ((t / 0.5).round() as usize).is_multiple_of(20))
         .map(|&(t, v)| vec![format!("{t:.0}"), f3(v)])
         .collect();
-    print_table("Figure 10: core bandwidth vs time", &["t (s)", "Gbps"], &body);
+    print_table(
+        "Figure 10: core bandwidth vs time",
+        &["t (s)", "Gbps"],
+        &body,
+    );
     let rows: Vec<Vec<String>> = d
         .steady
         .iter()

@@ -23,7 +23,10 @@ pub fn run(_scale: Scale) -> Digest {
     let p = AppParams::default_testbed();
     let modes = [PodMode::Global, PodMode::Local, PodMode::Clos];
     Digest {
-        spark: modes.iter().map(|&m| spark_broadcast(&rig, m, &p)).collect(),
+        spark: modes
+            .iter()
+            .map(|&m| spark_broadcast(&rig, m, &p))
+            .collect(),
         hadoop: modes.iter().map(|&m| hadoop_shuffle(&rig, m, &p)).collect(),
     }
 }

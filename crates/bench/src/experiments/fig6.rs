@@ -5,11 +5,13 @@
 
 use super::common;
 use crate::report::{f3, print_table};
+use crate::sweep::sweep;
 use crate::Scale;
-use flat_tree::PodMode;
+use flat_tree::{FlatTreeInstance, PodMode};
 use mcf::concurrent::max_concurrent_flow;
 use mcf::greedy::{max_total_flow, mean};
 use serde::{Deserialize, Serialize};
+use topology::DcNetwork;
 use traffic::patterns;
 
 /// The four panels of Figure 6.
@@ -51,41 +53,69 @@ pub fn traffics(n: usize, pods: usize, seed: u64) -> Vec<(String, Vec<(usize, us
     ]
 }
 
-/// Runs all panels.
+/// One (panel, traffic) job for the sweep driver.
+struct Job<'a> {
+    topo: usize,
+    mode: PodMode,
+    net: &'a DcNetwork,
+    tname: String,
+    pairs: Vec<(usize, usize)>,
+}
+
+/// Runs all panels: the (panel, traffic) cells are independent, so they
+/// go through [`sweep`] and come back in panel-major order.
 pub fn run(scale: Scale) -> Vec<Cell> {
     let ks = [4usize, 8, 12];
-    let mut cells = Vec::new();
-    for (topo_idx, mode) in PANELS {
-        let clos = common::topo(topo_idx, scale.full);
-        let ft = common::flat_tree_over(clos);
-        let inst = common::instance(&ft, mode);
-        let net = &inst.net;
-        for (tname, pairs) in traffics(net.num_servers(), net.num_pods(), scale.seed) {
-            // LP baselines with NIC-rate demands.
-            let coms = common::commodities(net, &pairs, common::nic_gbps());
-            let lp_min = max_concurrent_flow(&net.graph, &coms, 0.12);
-            let lp_min_avg = lp_min.lambda * common::nic_gbps();
-            // The true LP-average optimum is >= both the greedy packing
-            // value and the LP-min average (the LP-min solution is
-            // feasible for the average objective), so report the better
-            // of the two lower bounds.
-            let lp_avg = mean(&max_total_flow(&net.graph, &coms)).max(lp_min_avg);
-            let mut mptcp = [0.0f64; 3];
-            for (i, &k) in ks.iter().enumerate() {
-                let rates = common::mptcp_rates(net, &pairs, k);
-                mptcp[i] = crate::report::mean(&rates) / lp_min_avg;
-            }
-            cells.push(Cell {
-                topo: topo_idx,
-                mode: format!("{mode:?}").to_lowercase(),
-                traffic: tname,
-                lp_min: 1.0,
-                lp_avg: lp_avg / lp_min_avg,
-                mptcp,
-            });
+    // Topology construction is cheap next to the LP/MPTCP cells; build
+    // every panel's instance serially, then fan the cells out.
+    let insts: Vec<(usize, PodMode, FlatTreeInstance)> = PANELS
+        .iter()
+        .map(|&(topo_idx, mode)| {
+            let clos = common::topo(topo_idx, scale.full);
+            let ft = common::flat_tree_over(clos);
+            (topo_idx, mode, common::instance(&ft, mode))
+        })
+        .collect();
+    let jobs: Vec<Job> = insts
+        .iter()
+        .flat_map(|(topo_idx, mode, inst)| {
+            let net = &inst.net;
+            traffics(net.num_servers(), net.num_pods(), scale.seed)
+                .into_iter()
+                .map(move |(tname, pairs)| Job {
+                    topo: *topo_idx,
+                    mode: *mode,
+                    net,
+                    tname,
+                    pairs,
+                })
+        })
+        .collect();
+    sweep(&jobs, |_, job| {
+        let net = job.net;
+        // LP baselines with NIC-rate demands.
+        let coms = common::commodities(net, &job.pairs, common::nic_gbps());
+        let lp_min = max_concurrent_flow(&net.graph, &coms, 0.12);
+        let lp_min_avg = lp_min.lambda * common::nic_gbps();
+        // The true LP-average optimum is >= both the greedy packing
+        // value and the LP-min average (the LP-min solution is
+        // feasible for the average objective), so report the better
+        // of the two lower bounds.
+        let lp_avg = mean(&max_total_flow(&net.graph, &coms)).max(lp_min_avg);
+        let mut mptcp = [0.0f64; 3];
+        for (i, &k) in ks.iter().enumerate() {
+            let rates = common::mptcp_rates(net, &job.pairs, k);
+            mptcp[i] = crate::report::mean(&rates) / lp_min_avg;
         }
-    }
-    cells
+        Cell {
+            topo: job.topo,
+            mode: format!("{:?}", job.mode).to_lowercase(),
+            traffic: job.tname.clone(),
+            lp_min: 1.0,
+            lp_avg: lp_avg / lp_min_avg,
+            mptcp,
+        }
+    })
 }
 
 /// Prints the cells as one table (panel-major).

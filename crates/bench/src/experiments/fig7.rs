@@ -91,7 +91,9 @@ pub fn print(boxes: &[Box]) {
         .collect();
     print_table(
         "Figure 7: flow-throughput distribution, topo-1 global (Gbps)",
-        &["traffic", "method", "min", "p25", "median", "p75", "max", "mean"],
+        &[
+            "traffic", "method", "min", "p25", "median", "p75", "max", "mean",
+        ],
         &body,
     );
 }

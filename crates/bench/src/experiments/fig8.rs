@@ -5,6 +5,7 @@
 
 use super::common;
 use crate::report::{f3, percentile, print_table, sorted};
+use crate::sweep::sweep;
 use crate::Scale;
 use flat_tree::PodMode;
 use flowsim::{simulate, SimConfig, Transport};
@@ -89,48 +90,51 @@ pub fn trace_set(scale: Scale) -> Vec<Workload> {
     ]
 }
 
-/// Runs every (trace, network) pair.
+/// Runs every (trace, network) pair: the cells — a full fluid
+/// simulation each — are independent, so they go through [`sweep`] and
+/// come back trace-major, matching the serial loop's order.
 pub fn run(scale: Scale) -> Vec<Curve> {
     let nets = networks(scale);
-    let mut out = Vec::new();
-    for trace in trace_set(scale) {
-        for (name, net, transport) in &nets {
-            let flows: Vec<flowsim::FlowSpec> = trace
-                .flows
-                .iter()
-                .map(|f| flowsim::FlowSpec {
-                    id: f.id,
-                    src: net.servers[f.src],
-                    dst: net.servers[f.dst],
-                    bytes: f.bytes,
-                    start: f.start,
-                })
-                .collect();
-            let cfg = SimConfig {
-                transport: *transport,
-                ..SimConfig::default()
-            };
-            let res = simulate(&net.graph, &flows, &cfg);
-            let fcts_ms: Vec<f64> = res.sorted_fcts().iter().map(|s| s * 1e3).collect();
-            assert!(!fcts_ms.is_empty(), "no flow completed on {name}");
-            let s = sorted(&fcts_ms);
-            out.push(Curve {
-                trace: trace.name.clone(),
-                network: name.clone(),
-                fct_ms_percentiles: [
-                    percentile(&s, 10.0),
-                    percentile(&s, 25.0),
-                    percentile(&s, 50.0),
-                    percentile(&s, 75.0),
-                    percentile(&s, 90.0),
-                    percentile(&s, 99.0),
-                ],
-                mean_ms: crate::report::mean(&s),
-                completed: fcts_ms.len() as f64 / flows.len() as f64,
-            });
+    let traces = trace_set(scale);
+    let jobs: Vec<(&Workload, &(String, DcNetwork, Transport))> = traces
+        .iter()
+        .flat_map(|trace| nets.iter().map(move |n| (trace, n)))
+        .collect();
+    sweep(&jobs, |_, &(trace, (name, net, transport))| {
+        let flows: Vec<flowsim::FlowSpec> = trace
+            .flows
+            .iter()
+            .map(|f| flowsim::FlowSpec {
+                id: f.id,
+                src: net.servers[f.src],
+                dst: net.servers[f.dst],
+                bytes: f.bytes,
+                start: f.start,
+            })
+            .collect();
+        let cfg = SimConfig {
+            transport: *transport,
+            ..SimConfig::default()
+        };
+        let res = simulate(&net.graph, &flows, &cfg);
+        let fcts_ms: Vec<f64> = res.sorted_fcts().iter().map(|s| s * 1e3).collect();
+        assert!(!fcts_ms.is_empty(), "no flow completed on {name}");
+        let s = sorted(&fcts_ms);
+        Curve {
+            trace: trace.name.clone(),
+            network: name.clone(),
+            fct_ms_percentiles: [
+                percentile(&s, 10.0),
+                percentile(&s, 25.0),
+                percentile(&s, 50.0),
+                percentile(&s, 75.0),
+                percentile(&s, 90.0),
+                percentile(&s, 99.0),
+            ],
+            mean_ms: crate::report::mean(&s),
+            completed: fcts_ms.len() as f64 / flows.len() as f64,
         }
-    }
-    out
+    })
 }
 
 /// Prints the curves, trace-major.
@@ -153,7 +157,9 @@ pub fn print(curves: &[Curve]) {
         .collect();
     print_table(
         "Figure 8: FCT CDFs (ms at percentiles)",
-        &["trace", "network", "p10", "p50", "p90", "p99", "mean", "done"],
+        &[
+            "trace", "network", "p10", "p50", "p90", "p99", "mean", "done",
+        ],
         &body,
     );
 }

@@ -27,7 +27,13 @@ pub struct Row {
     pub wide_tenant_ms: f64,
 }
 
-fn tenant_flows(inst: &FlatTreeInstance, pods: std::ops::Range<usize>, rack_local: bool, rack_size: usize, bytes: f64) -> Vec<FlowSpec> {
+fn tenant_flows(
+    inst: &FlatTreeInstance,
+    pods: std::ops::Range<usize>,
+    rack_local: bool,
+    rack_size: usize,
+    bytes: f64,
+) -> Vec<FlowSpec> {
     let mut servers = Vec::new();
     for p in pods {
         servers.extend(inst.net.pod_servers[p].iter().copied());
@@ -59,7 +65,10 @@ fn mean_fct_ms(inst: &FlatTreeInstance, flows: &[FlowSpec]) -> f64 {
         &inst.net.graph,
         flows,
         &SimConfig {
-            transport: Transport::Mptcp { k: 4, coupled: true },
+            transport: Transport::Mptcp {
+                k: 4,
+                coupled: true,
+            },
             ..SimConfig::default()
         },
     );
@@ -75,13 +84,25 @@ pub fn run(scale: Scale) -> Vec<Row> {
     assert!(pods >= 4, "hybrid experiment needs >= 4 pods");
     let half = pods / 2;
     let assignments = vec![
-        ("uniform-clos".to_string(), ModeAssignment::uniform(pods, PodMode::Clos)),
-        ("uniform-global".to_string(), ModeAssignment::uniform(pods, PodMode::Global)),
+        (
+            "uniform-clos".to_string(),
+            ModeAssignment::uniform(pods, PodMode::Clos),
+        ),
+        (
+            "uniform-global".to_string(),
+            ModeAssignment::uniform(pods, PodMode::Global),
+        ),
         (
             "hybrid".to_string(),
             ModeAssignment::hybrid(
                 (0..pods)
-                    .map(|p| if p < half { PodMode::Clos } else { PodMode::Global })
+                    .map(|p| {
+                        if p < half {
+                            PodMode::Clos
+                        } else {
+                            PodMode::Global
+                        }
+                    })
                     .collect(),
             ),
         ),

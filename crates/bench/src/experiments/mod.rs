@@ -2,12 +2,12 @@
 
 pub mod ablation;
 pub mod common;
-pub mod hybrid;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod hybrid;
 pub mod resilience;
 pub mod table1;
 pub mod table3;

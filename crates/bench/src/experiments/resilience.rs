@@ -10,11 +10,12 @@
 //! switch-to-switch cables uniformly at random, re-route every
 //! permutation pair over the surviving k-shortest paths, and measure the
 //! mean per-flow throughput (normalized to the failure-free value) plus
-//! the fraction of disconnected pairs. Failure fractions are swept in
-//! parallel worker threads (crossbeam scoped threads).
+//! the fraction of disconnected pairs. The (fraction, trial) cells run
+//! on the [`crate::sweep`] driver's worker threads.
 
 use super::common;
 use crate::report::{f3, print_table};
+use crate::sweep::sweep;
 use crate::Scale;
 use flat_tree::PodMode;
 use flowsim::alloc::{connection_rates, ConnPaths};
@@ -59,7 +60,12 @@ fn cables(g: &Graph) -> Vec<LinkId> {
 }
 
 /// Mean throughput and disconnection rate with a given failed-cable set.
-fn measure(g: &Graph, pairs: &[(netgraph::NodeId, netgraph::NodeId)], failed: &std::collections::HashSet<usize>, k: usize) -> (f64, f64) {
+fn measure(
+    g: &Graph,
+    pairs: &[(netgraph::NodeId, netgraph::NodeId)],
+    failed: &std::collections::HashSet<usize>,
+    k: usize,
+) -> (f64, f64) {
     let mut conns = Vec::new();
     let mut disconnected = 0usize;
     for &(s, d) in pairs {
@@ -80,16 +86,10 @@ fn measure(g: &Graph, pairs: &[(netgraph::NodeId, netgraph::NodeId)], failed: &s
             subflow_weight: w,
         });
     }
-    let caps: Vec<f64> = g
-        .link_ids()
-        .map(|l| {
-            if failed.contains(&l.idx()) {
-                1e-9 // dead, but keep the allocator's invariants simple
-            } else {
-                g.link(l).capacity_gbps
-            }
-        })
-        .collect();
+    let mut caps = g.capacities();
+    for &l in failed {
+        caps[l] = 1e-9; // dead, but keep the allocator's invariants simple
+    }
     let rates = connection_rates(&caps, &conns);
     let total: f64 = rates.iter().sum();
     // Disconnected pairs contribute zero throughput to the mean.
@@ -101,8 +101,14 @@ fn measure(g: &Graph, pairs: &[(netgraph::NodeId, netgraph::NodeId)], failed: &s
 pub fn run(scale: Scale) -> Vec<Point> {
     let ft = common::flat_tree_over(common::topo(1, scale.full));
     let nets = vec![
-        ("ft-global".to_string(), common::instance(&ft, PodMode::Global).net),
-        ("ft-clos".to_string(), common::instance(&ft, PodMode::Clos).net),
+        (
+            "ft-global".to_string(),
+            common::instance(&ft, PodMode::Global).net,
+        ),
+        (
+            "ft-clos".to_string(),
+            common::instance(&ft, PodMode::Clos).net,
+        ),
     ];
     let k = 8;
     let mut out = Vec::new();
@@ -114,39 +120,27 @@ pub fn run(scale: Scale) -> Vec<Point> {
                 .map(|(s, d)| (net.servers[s], net.servers[d]))
                 .collect();
         let all_cables = cables(g);
-        // Sweep (fraction, trial) pairs in parallel worker threads.
+        // Sweep (fraction, trial) cells on the shared parallel driver.
         let jobs: Vec<(f64, usize)> = FRACTIONS
             .iter()
             .flat_map(|&f| (0..TRIALS).map(move |t| (f, t)))
             .collect();
-        let results: Vec<(f64, f64, f64)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .iter()
-                .map(|&(frac, trial)| {
-                    let pairs = &pairs;
-                    let all_cables = &all_cables;
-                    scope.spawn(move |_| {
-                        let mut rng = ChaCha8Rng::seed_from_u64(
-                            scale.seed ^ (frac * 1e6) as u64 ^ (trial as u64) << 32,
-                        );
-                        let mut chosen = all_cables.clone();
-                        chosen.shuffle(&mut rng);
-                        chosen.truncate((all_cables.len() as f64 * frac) as usize);
-                        let mut failed = std::collections::HashSet::new();
-                        for l in chosen {
-                            failed.insert(l.idx());
-                            if let Some(r) = g.link(l).reverse {
-                                failed.insert(r.idx());
-                            }
-                        }
-                        let (mean, disc) = measure(g, pairs, &failed, k);
-                        (frac, mean, disc)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("scope");
+        let results: Vec<(f64, f64, f64)> = sweep(&jobs, |_, &(frac, trial)| {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(scale.seed ^ (frac * 1e6) as u64 ^ (trial as u64) << 32);
+            let mut chosen = all_cables.clone();
+            chosen.shuffle(&mut rng);
+            chosen.truncate((all_cables.len() as f64 * frac) as usize);
+            let mut failed = std::collections::HashSet::new();
+            for l in chosen {
+                failed.insert(l.idx());
+                if let Some(r) = g.link(l).reverse {
+                    failed.insert(r.idx());
+                }
+            }
+            let (mean, disc) = measure(g, &pairs, &failed, k);
+            (frac, mean, disc)
+        });
         // Average trials per fraction.
         let mut per_frac: Vec<(f64, f64, f64)> = Vec::new();
         for &frac in &FRACTIONS {
@@ -186,7 +180,13 @@ pub fn print(points: &[Point]) {
         .collect();
     print_table(
         "Resilience: throughput under random cable failures (extension)",
-        &["network", "failed", "mean Gbps", "normalized", "disconnected"],
+        &[
+            "network",
+            "failed",
+            "mean Gbps",
+            "normalized",
+            "disconnected",
+        ],
         &body,
     );
 }

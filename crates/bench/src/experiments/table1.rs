@@ -114,7 +114,12 @@ pub fn print(rows: &[Row]) {
         .collect();
     print_table(
         "Table 1: normalized throughput of clustered traffic",
-        &["Cluster Size", "Clos/fat-tree", "Random Graph", "Two-stage RG"],
+        &[
+            "Cluster Size",
+            "Clos/fat-tree",
+            "Random Graph",
+            "Two-stage RG",
+        ],
         &body,
     );
 }

@@ -28,17 +28,12 @@ pub fn run(_scale: Scale) -> Digest {
     let pods = rig.controller.flat_tree().pods();
     let mut conversions = Vec::new();
     for mode in [PodMode::Global, PodMode::Local, PodMode::Clos] {
-        conversions.push(
-            rig.controller
-                .convert(&ModeAssignment::uniform(pods, mode)),
-        );
+        conversions.push(rig.controller.convert(&ModeAssignment::uniform(pods, mode)));
     }
     let max_rules = [PodMode::Global, PodMode::Local, PodMode::Clos]
         .into_iter()
         .map(|m| {
-            let art = rig
-                .controller
-                .artifacts(&ModeAssignment::uniform(pods, m));
+            let art = rig.controller.artifacts(&ModeAssignment::uniform(pods, m));
             (format!("{m:?}").to_lowercase(), art.rules.max_per_switch())
         })
         .collect();
@@ -72,7 +67,9 @@ pub fn print(d: &Digest) {
         .collect();
     print_table(
         "Table 3: conversion delay (ms)",
-        &["to", "OCS", "delete", "add", "total", "xpoints", "#del", "#add"],
+        &[
+            "to", "OCS", "delete", "add", "total", "xpoints", "#del", "#add",
+        ],
         &body,
     );
     let rules: Vec<Vec<String>> = d

@@ -17,5 +17,6 @@
 pub mod experiments;
 pub mod report;
 pub mod scale;
+pub mod sweep;
 
 pub use scale::Scale;

@@ -1,0 +1,126 @@
+//! Parallel sweep driver for experiment cells.
+//!
+//! Every experiment in this crate is a sweep over a cell grid — topology
+//! × traffic × transport (fig6, fig8), or failure fraction × trial
+//! (resilience) — where each cell is an independent, deterministic
+//! computation. [`sweep`] runs the cells on crossbeam scoped worker
+//! threads pulling from a shared work queue (so unequal cell costs
+//! balance), and collects results **in input order**: the output is
+//! byte-for-byte the same as a serial loop over the cells, regardless of
+//! thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `job` on every item using up to `threads` scoped worker threads
+/// and returns the results in input order.
+///
+/// `job` receives `(index, &item)` and must be deterministic per cell;
+/// cells must not depend on each other. Panics in a cell propagate.
+pub fn sweep_with_threads<I, T, F>(items: &[I], threads: usize, job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, it)| job(i, it)).collect();
+    }
+    // Dynamic queue: workers grab the next unclaimed index, so long cells
+    // don't serialize behind a static partition. Results carry their
+    // index and are reassembled in input order afterwards.
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items.len()));
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let collected = &collected;
+                let job = &job;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = job(i, &items[i]);
+                    collected.lock().expect("sweep collector").push((i, out));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sweep worker panicked");
+        }
+    })
+    .expect("sweep scope");
+    let mut pairs = collected.into_inner().expect("sweep collector");
+    pairs.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`sweep_with_threads`] with one worker per available CPU.
+pub fn sweep<I, T, F>(items: &[I], job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    sweep_with_threads(items, threads, job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_under_contention() {
+        // Uneven cell costs: later items finish first on a real scheduler.
+        let items: Vec<usize> = (0..64).collect();
+        let out = sweep_with_threads(&items, 8, |i, &x| {
+            // Busy-work inversely proportional to index.
+            let spins = (64 - i) * 500;
+            let mut acc = 0u64;
+            for s in 0..spins {
+                acc = acc.wrapping_add(s as u64);
+            }
+            std::hint::black_box(acc);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_serial_exactly() {
+        let items: Vec<u64> = (0..33).map(|i| i * 7 + 1).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as u64)
+            .collect();
+        for threads in [1, 2, 5, 64] {
+            let par = sweep_with_threads(&items, threads, |i, &x| x + i as u64);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(sweep(&empty, |_, &x| x).is_empty());
+        assert_eq!(sweep(&[5u8], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let items = ["a", "b", "c"];
+        let out = sweep_with_threads(&items, 2, |i, &s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+}

@@ -110,7 +110,11 @@ impl Controller {
             crosspoints_changed: crosspoints,
             rules_deleted: diff.deletes,
             rules_added: diff.adds,
-            ocs_ms: if crosspoints > 0 { self.delay.ocs_ms } else { 0.0 },
+            ocs_ms: if crosspoints > 0 {
+                self.delay.ocs_ms
+            } else {
+                0.0
+            },
             delete_ms: diff.deletes as f64 * self.delay.per_rule_delete_ms,
             add_ms: diff.adds as f64 * self.delay.per_rule_add_ms,
         }

@@ -148,13 +148,13 @@ impl FlatTree {
                 let e = pod_edges[pod][j];
                 let a = pod_aggs[pod][j / clos.r()];
                 // Fixed servers (not spliced by any converter).
-                for q in p.m + p.n..clos.servers_per_edge {
-                    server_links.push((edge_servers[pod * clos.edges_per_pod + j][q], e));
+                for &srv in &edge_servers[pod * clos.edges_per_pod + j][p.m + p.n..] {
+                    server_links.push((srv, e));
                 }
                 // Edge-agg fabric is untouched by conversion.
-                for ai in 0..clos.aggs_per_pod {
+                for &agg in pod_aggs[pod].iter().take(clos.aggs_per_pod) {
                     for _ in 0..per_pair {
-                        bump(e, pod_aggs[pod][ai]);
+                        bump(e, agg);
                     }
                 }
                 // Direct (converter-free) aggregation core connectors.
@@ -307,7 +307,10 @@ mod tests {
         assert_eq!(inst.net.graph.node_count(), plain.net.graph.node_count());
         let a = metrics::avg_server_path_length(&inst.net.graph).unwrap();
         let b = metrics::avg_server_path_length(&plain.net.graph).unwrap();
-        assert!((a - b).abs() < 1e-12, "flat-tree Clos mode APL {a} vs Clos {b}");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "flat-tree Clos mode APL {a} vs Clos {b}"
+        );
         // All servers on edge switches.
         assert_eq!(
             metrics::attached_server_counts(&inst.net.graph, NodeKind::EdgeSwitch)
@@ -345,8 +348,7 @@ mod tests {
     fn global_mode_core_servers_are_uniform() {
         // Property 1 of §3.2, on the built graph.
         let inst = inst(PodMode::Global);
-        let counts =
-            metrics::attached_server_counts(&inst.net.graph, NodeKind::CoreSwitch);
+        let counts = metrics::attached_server_counts(&inst.net.graph, NodeKind::CoreSwitch);
         let min = counts.iter().map(|&(_, c)| c).min().unwrap();
         let max = counts.iter().map(|&(_, c)| c).max().unwrap();
         assert_eq!(min, max, "{counts:?}");
@@ -377,13 +379,14 @@ mod tests {
     #[test]
     fn port_budget_is_invariant_across_modes() {
         let f = ft();
-        let total = |i: &FlatTreeInstance| -> f64 {
-            i.port_usage().values().sum()
-        };
+        let total = |i: &FlatTreeInstance| -> f64 { i.port_usage().values().sum() };
         let clos = total(&f.instantiate(&ModeAssignment::uniform(4, PodMode::Clos)));
         let global = total(&f.instantiate(&ModeAssignment::uniform(4, PodMode::Global)));
         let local = total(&f.instantiate(&ModeAssignment::uniform(4, PodMode::Local)));
-        assert!((clos - global).abs() < 1e-9, "clos {clos} vs global {global}");
+        assert!(
+            (clos - global).abs() < 1e-9,
+            "clos {clos} vs global {global}"
+        );
         assert!((clos - local).abs() < 1e-9, "clos {clos} vs local {local}");
     }
 
@@ -446,13 +449,9 @@ mod tests {
             .unwrap()
             .id;
         let assignment = ModeAssignment::uniform(4, PodMode::Global);
-        let inst = f.instantiate_with_overrides(
-            &assignment,
-            &[(stuck, ConverterConfig::Default)],
-        );
+        let inst = f.instantiate_with_overrides(&assignment, &[(stuck, ConverterConfig::Default)]);
         let conv = &f.layout.converters[stuck];
-        let server =
-            inst.edge_servers[conv.pod * 4 + conv.edge][conv.server_slot];
+        let server = inst.edge_servers[conv.pod * 4 + conv.edge][conv.server_slot];
         let sw = inst.net.graph.server_uplink_switch(server).unwrap();
         assert_eq!(
             inst.net.graph.node(sw).kind,
@@ -487,7 +486,11 @@ mod tests {
             .id;
         let assignment = ModeAssignment::uniform(4, PodMode::Global);
         let total = |i: &FlatTreeInstance| -> f64 {
-            i.net.graph.link_ids().map(|l| i.net.graph.link(l).capacity_gbps).sum()
+            i.net
+                .graph
+                .link_ids()
+                .map(|l| i.net.graph.link(l).capacity_gbps)
+                .sum()
         };
         let healthy = f.instantiate(&assignment);
         let faulty =

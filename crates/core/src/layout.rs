@@ -44,7 +44,7 @@ impl FlatTreeParams {
     /// [`ClosParams::validate`].
     pub fn validate(&self) -> Result<(), String> {
         self.clos.validate()?;
-        if self.clos.edges_per_pod % 2 != 0 {
+        if !self.clos.edges_per_pod.is_multiple_of(2) {
             return Err("flat-tree pods need an even number of edge switches \
                         (converters sit on two symmetric sides, §3.1)"
                 .into());
@@ -88,11 +88,7 @@ impl FlatTreeParams {
         // diversity" concern: e.g. Pattern 2 with m+1 sharing a factor
         // with h/r can stack blade-B connectors on the same cores.)
         let counts = crate::wiring::link_type_counts_per_core(self, self.wiring);
-        if let Some((core, _)) = counts
-            .iter()
-            .enumerate()
-            .find(|(_, c)| c.1 + c.2 == 0)
-        {
+        if let Some((core, _)) = counts.iter().enumerate().find(|(_, c)| c.1 + c.2 == 0) {
             return Err(format!(
                 "wiring {:?} leaves core {core} with only relocated-server                  connectors; pick the other pattern or different (m, n)",
                 self.wiring
@@ -179,7 +175,13 @@ impl Layout {
                             edge,
                             agg: edge / r,
                             server_slot: row,
-                            core: core_of(&params, params.wiring, pod, edge, ConnectorRole::BladeB(row)),
+                            core: core_of(
+                                &params,
+                                params.wiring,
+                                pod,
+                                edge,
+                                ConnectorRole::BladeB(row),
+                            ),
                         });
                     }
                     for row in 0..params.n {
@@ -194,7 +196,13 @@ impl Layout {
                             edge,
                             agg: edge / r,
                             server_slot: params.m + row,
-                            core: core_of(&params, params.wiring, pod, edge, ConnectorRole::BladeA(row)),
+                            core: core_of(
+                                &params,
+                                params.wiring,
+                                pod,
+                                edge,
+                                ConnectorRole::BladeA(row),
+                            ),
                         });
                     }
                 }
@@ -209,7 +217,11 @@ impl Layout {
         self.converters
             .iter()
             .find(|c| {
-                c.pod == pod && c.side == side && c.blade == Blade::B && c.row == row && c.col == col
+                c.pod == pod
+                    && c.side == side
+                    && c.blade == Blade::B
+                    && c.row == row
+                    && c.col == col
             })
             .expect("blade-B converter out of range")
     }
@@ -250,7 +262,7 @@ impl Layout {
     /// takes in global mode.
     pub fn global_mode_config(&self, conv: &ConverterInfo) -> ConverterConfig {
         debug_assert_eq!(conv.blade, Blade::B);
-        if conv.row % 2 == 0 {
+        if conv.row.is_multiple_of(2) {
             ConverterConfig::Side
         } else {
             ConverterConfig::Cross

@@ -53,10 +53,7 @@ impl ModeAssignment {
     /// True when all pods share a mode; returns it.
     pub fn uniform_mode(&self) -> Option<PodMode> {
         let first = *self.pod_modes.first()?;
-        self.pod_modes
-            .iter()
-            .all(|&m| m == first)
-            .then_some(first)
+        self.pod_modes.iter().all(|&m| m == first).then_some(first)
     }
 
     /// Label like `"global"` or `"hybrid[clos,global,local,global]"`.
@@ -83,7 +80,11 @@ pub fn local_mode_sixport_locals(layout: &Layout) -> usize {
 }
 
 /// The configuration a converter takes under a mode assignment (§3.5).
-pub fn config_for(layout: &Layout, conv: &ConverterInfo, assignment: &ModeAssignment) -> ConverterConfig {
+pub fn config_for(
+    layout: &Layout,
+    conv: &ConverterInfo,
+    assignment: &ModeAssignment,
+) -> ConverterConfig {
     let mode = assignment.pod_modes[conv.pod];
     match (mode, conv.blade) {
         (PodMode::Clos, _) => ConverterConfig::Default,
@@ -205,7 +206,10 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(ModeAssignment::uniform(3, PodMode::Global).label(), "global");
+        assert_eq!(
+            ModeAssignment::uniform(3, PodMode::Global).label(),
+            "global"
+        );
         assert_eq!(PodMode::Local.tag(), "local");
     }
 }

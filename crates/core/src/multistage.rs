@@ -157,10 +157,9 @@ impl MultiStageFlatTree {
                         let end = match lower_cfgs[conv.id].core_attachment() {
                             CoreAttachment::Agg => LowerEnd::Agg(pod, conv.agg),
                             CoreAttachment::Edge => LowerEnd::Edge(pod, j),
-                            CoreAttachment::Server => LowerEnd::Server(
-                                pod * clos.edges_per_pod + j,
-                                conv.server_slot,
-                            ),
+                            CoreAttachment::Server => {
+                                LowerEnd::Server(pod * clos.edges_per_pod + j, conv.server_slot)
+                            }
                         };
                         (role, end)
                     } else if slot < p.m + p.n {
@@ -181,10 +180,9 @@ impl MultiStageFlatTree {
                         let end = match lower_cfgs[conv.id].core_attachment() {
                             CoreAttachment::Agg => LowerEnd::Agg(pod, conv.agg),
                             CoreAttachment::Edge => LowerEnd::Edge(pod, j),
-                            CoreAttachment::Server => LowerEnd::Server(
-                                pod * clos.edges_per_pod + j,
-                                conv.server_slot,
-                            ),
+                            CoreAttachment::Server => {
+                                LowerEnd::Server(pod * clos.edges_per_pod + j, conv.server_slot)
+                            }
                         };
                         (role, end)
                     } else {
@@ -202,7 +200,11 @@ impl MultiStageFlatTree {
     }
 
     /// Instantiates a mode combination.
-    pub fn instantiate(&self, lower_assignment: &ModeAssignment, upper_assignment: &ModeAssignment) -> MultiStageInstance {
+    pub fn instantiate(
+        &self,
+        lower_assignment: &ModeAssignment,
+        upper_assignment: &ModeAssignment,
+    ) -> MultiStageInstance {
         let lower_cfgs = configs_for(&self.lower.layout, lower_assignment);
         let lower_inst = self.lower.instantiate(lower_assignment);
         let upper_inst = self.upper.instantiate(upper_assignment);
@@ -475,7 +477,12 @@ mod tests {
             .collect();
         // Converting the *lower* layer (where the servers are) always
         // flattens, with or without upper conversion.
-        assert!(apl[1] < apl[0], "lower-global {} !< clos/clos {}", apl[1], apl[0]);
+        assert!(
+            apl[1] < apl[0],
+            "lower-global {} !< clos/clos {}",
+            apl[1],
+            apl[0]
+        );
         assert!(apl[3] < apl[2], "G/G {} !< C/G {}", apl[3], apl[2]);
         // See `upper_conversion_relocates_lower_connections_to_true_cores`
         // for why upper-layer conversion alone is density-bound at mini

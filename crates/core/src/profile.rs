@@ -51,7 +51,11 @@ pub fn profile_mn(clos: &ClosParams) -> Vec<ProfilePoint> {
                 avg_server_path_length(&inst.net.graph)
             };
             if let Some(apl) = apl {
-                points.push(ProfilePoint { m, n, global_apl: apl });
+                points.push(ProfilePoint {
+                    m,
+                    n,
+                    global_apl: apl,
+                });
             }
         }
     }

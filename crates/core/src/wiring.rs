@@ -51,7 +51,11 @@ impl WiringPattern {
     /// Pattern 1, which §3.2 states performs better otherwise.
     pub fn recommended(m: usize, group_size: usize) -> Self {
         fn gcd(a: usize, b: usize) -> usize {
-            if b == 0 { a } else { gcd(b, a % b) }
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
         }
         if group_size == 0 {
             return WiringPattern::Pattern1;
@@ -99,7 +103,13 @@ impl ConnectorRole {
 ///
 /// `pod` is the pod index, `edge_in_pod` is `j ∈ 0..d`, and `role`
 /// identifies the connector within `E_j`'s `h/r`-connector share.
-pub fn core_of(params: &FlatTreeParams, pattern: WiringPattern, pod: usize, edge_in_pod: usize, role: ConnectorRole) -> usize {
+pub fn core_of(
+    params: &FlatTreeParams,
+    pattern: WiringPattern,
+    pod: usize,
+    edge_in_pod: usize,
+    role: ConnectorRole,
+) -> usize {
     let gs = params.clos.h_over_r();
     let c = params.clos.num_cores;
     let start = (edge_in_pod * gs) % c;
@@ -125,7 +135,10 @@ pub fn server_connectors_per_core(params: &FlatTreeParams, pattern: WiringPatter
 
 /// Checks Property 2 of §3.2: `(blade_b, blade_a, agg)` connector counts
 /// per core.
-pub fn link_type_counts_per_core(params: &FlatTreeParams, pattern: WiringPattern) -> Vec<(usize, usize, usize)> {
+pub fn link_type_counts_per_core(
+    params: &FlatTreeParams,
+    pattern: WiringPattern,
+) -> Vec<(usize, usize, usize)> {
     let gs = params.clos.h_over_r();
     let mut counts = vec![(0usize, 0usize, 0usize); params.clos.num_cores];
     for pod in 0..params.clos.pods {
@@ -186,7 +199,11 @@ mod tests {
         let gs = p.clos.h_over_r();
         for pod in 0..p.clos.pods {
             for j in 0..p.clos.edges_per_pod {
-                for role in [ConnectorRole::BladeB(0), ConnectorRole::BladeA(0), ConnectorRole::Agg(0)] {
+                for role in [
+                    ConnectorRole::BladeB(0),
+                    ConnectorRole::BladeA(0),
+                    ConnectorRole::Agg(0),
+                ] {
                     let c = core_of(&p, WiringPattern::Pattern1, pod, j, role);
                     let start = (j * gs) % p.clos.num_cores;
                     let in_group = (0..gs).any(|t| (start + t) % p.clos.num_cores == c);

@@ -13,15 +13,15 @@ use topology::ClosParams;
 /// Strategy: feasible flat-tree parameters, small enough to build fast.
 fn params() -> impl Strategy<Value = FlatTreeParams> {
     (
-        2usize..6,        // pods
-        1usize..4,        // half-d (d = 2 * half)
+        2usize..6,                             // pods
+        1usize..4,                             // half-d (d = 2 * half)
         prop::sample::select(vec![1usize, 2]), // r
-        1usize..5,        // servers_per_edge extra beyond m+n
-        1usize..4,        // h/r
-        0usize..3,        // m
-        0usize..3,        // n
-        prop::bool::ANY,  // wrap
-        prop::bool::ANY,  // pattern 2?
+        1usize..5,                             // servers_per_edge extra beyond m+n
+        1usize..4,                             // h/r
+        0usize..3,                             // m
+        0usize..3,                             // n
+        prop::bool::ANY,                       // wrap
+        prop::bool::ANY,                       // pattern 2?
     )
         .prop_filter_map(
             "infeasible",

@@ -64,10 +64,6 @@ mod tests {
         (g, vec![p1, p2])
     }
 
-    fn caps(g: &Graph) -> Vec<f64> {
-        g.link_ids().map(|l| g.link(l).capacity_gbps).collect()
-    }
-
     #[test]
     fn mptcp_fills_disjoint_paths_even_when_coupled() {
         let (g, paths) = two_path_net();
@@ -75,7 +71,7 @@ mod tests {
             paths,
             subflow_weight: 0.5, // coupled, k = 2
         }];
-        let rates = connection_rates(&caps(&g), &conns);
+        let rates = connection_rates(&g.capacities(), &conns);
         assert!((rates[0] - 20.0).abs() < 1e-9, "got {}", rates[0]);
     }
 
@@ -86,28 +82,50 @@ mod tests {
         // TCP 2/3... with weight 1/2 vs 1: shares are 10*(1/1.5) etc.
         let (g, paths) = two_path_net();
         let conns = vec![
-            ConnPaths { paths: paths.clone(), subflow_weight: 0.5 },
-            ConnPaths { paths: vec![paths[0].clone()], subflow_weight: 1.0 },
-            ConnPaths { paths: vec![paths[1].clone()], subflow_weight: 1.0 },
+            ConnPaths {
+                paths: paths.clone(),
+                subflow_weight: 0.5,
+            },
+            ConnPaths {
+                paths: vec![paths[0].clone()],
+                subflow_weight: 1.0,
+            },
+            ConnPaths {
+                paths: vec![paths[1].clone()],
+                subflow_weight: 1.0,
+            },
         ];
-        let rates = connection_rates(&caps(&g), &conns);
+        let rates = connection_rates(&g.capacities(), &conns);
         // Each 10G path splits 1:0.5 between TCP and the MPTCP subflow.
         assert!((rates[1] - 20.0 / 3.0).abs() < 1e-6, "tcp got {}", rates[1]);
         assert!((rates[2] - 20.0 / 3.0).abs() < 1e-6);
-        assert!((rates[0] - 2.0 * 10.0 / 3.0).abs() < 1e-6, "mptcp got {}", rates[0]);
+        assert!(
+            (rates[0] - 2.0 * 10.0 / 3.0).abs() < 1e-6,
+            "mptcp got {}",
+            rates[0]
+        );
         // Uncoupled would have grabbed half of each path.
         let conns_unc = vec![
-            ConnPaths { paths: paths.clone(), subflow_weight: 1.0 },
-            ConnPaths { paths: vec![paths[0].clone()], subflow_weight: 1.0 },
-            ConnPaths { paths: vec![paths[1].clone()], subflow_weight: 1.0 },
+            ConnPaths {
+                paths: paths.clone(),
+                subflow_weight: 1.0,
+            },
+            ConnPaths {
+                paths: vec![paths[0].clone()],
+                subflow_weight: 1.0,
+            },
+            ConnPaths {
+                paths: vec![paths[1].clone()],
+                subflow_weight: 1.0,
+            },
         ];
-        let r2 = connection_rates(&caps(&g), &conns_unc);
+        let r2 = connection_rates(&g.capacities(), &conns_unc);
         assert!(r2[0] > rates[0]);
     }
 
     #[test]
     fn empty_input() {
         let (g, _) = two_path_net();
-        assert!(connection_rates(&caps(&g), &[]).is_empty());
+        assert!(connection_rates(&g.capacities(), &[]).is_empty());
     }
 }

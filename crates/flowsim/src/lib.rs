@@ -24,7 +24,27 @@
 //! re-route connections over the surviving k-shortest paths, exercising
 //! the §4.2.1 footnote's resilience claim.
 
+//!
+//! # Engine layout
+//!
+//! The event loop ([`sim::simulate_with_provider`]) works entirely on
+//! interned paths: routes come from a [`provider::PathProvider`] as
+//! [`netgraph::PathId`]s in a per-run [`netgraph::PathArena`], failures
+//! are a dense [`failures::FailedLinks`] set whose *epoch* invalidates
+//! the provider's route cache, and rate allocation reuses one
+//! [`mcf::AllocWorkspace`] across events. The pre-refactor engine is
+//! preserved in [`reference`] as the behavioral oracle: both engines
+//! produce bit-identical [`SimResult`]s.
+
 pub mod alloc;
+pub mod failures;
+pub mod provider;
+pub mod reference;
 pub mod sim;
 
-pub use sim::{simulate, FlowRecord, FlowSpec, LinkFailure, SimConfig, SimResult, Transport};
+pub use failures::FailedLinks;
+pub use provider::{EcmpProvider, MptcpProvider, PathProvider, RoutedConn};
+pub use sim::{
+    simulate, simulate_with_provider, FlowRecord, FlowSpec, LinkFailure, SimConfig, SimResult,
+    Transport,
+};

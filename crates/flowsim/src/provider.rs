@@ -1,0 +1,311 @@
+//! Routing behind a trait, with failure-epoch route caches.
+//!
+//! The old event loop routed inline: ECMP enumeration per arrival, and —
+//! once any link had failed — a fresh Yen run per arriving or rerouted
+//! connection. Routing is a pure function of `(graph, failure set,
+//! src, dst)` though, so all of it is cacheable until the failure set
+//! changes. A [`PathProvider`] owns that cache and keys its validity on
+//! [`FailedLinks::epoch`]: post-failure arrivals between two failure
+//! events hit the cached failure-aware answer instead of recomputing it.
+//!
+//! Providers return paths as [`PathId`]s interned in the simulation's
+//! [`PathArena`], so the hot loop never clones a path.
+
+use crate::failures::FailedLinks;
+use crate::sim::FlowSpec;
+use netgraph::{dijkstra, ecmp, yen, Graph, NodeId, PathArena, PathId};
+use routing::RouteTable;
+use std::collections::HashMap;
+
+/// A routed connection: interned subflow paths plus the fairness weight
+/// each subflow carries in max-min allocation.
+#[derive(Debug, Clone)]
+pub struct RoutedConn {
+    /// Interned subflow paths (1 for TCP, up to k for MPTCP).
+    pub path_ids: Vec<PathId>,
+    /// Weight per subflow (1.0 uncoupled, 1/k coupled).
+    pub subflow_weight: f64,
+}
+
+/// Source of connection routes under a mutable failure state.
+pub trait PathProvider {
+    /// Routes a connection for `spec` under the current failures.
+    ///
+    /// Returns `None` when the endpoints are disconnected. Must be
+    /// deterministic in `(g, failed, spec)` — the simulator relies on a
+    /// re-route after a failure giving exactly the routes a fresh
+    /// computation would.
+    fn route(
+        &mut self,
+        g: &Graph,
+        arena: &mut PathArena,
+        failed: &FailedLinks,
+        spec: &FlowSpec,
+    ) -> Option<RoutedConn>;
+}
+
+/// ECMP + single-path TCP: hash-selects among the surviving equal-cost
+/// shortest paths, falling back to any surviving path.
+///
+/// Caches the surviving equal-cost set (and the fallback path) per
+/// server pair; the per-flow hash then picks from the cached set, so
+/// only the first flow of a pair in each failure epoch pays for path
+/// enumeration.
+#[derive(Debug, Default)]
+pub struct EcmpProvider {
+    cache: HashMap<(NodeId, NodeId), EcmpEntry>,
+    epoch: u64,
+}
+
+#[derive(Debug)]
+struct EcmpEntry {
+    /// Equal-cost shortest paths with every link up, in the enumeration
+    /// order `ecmp::equal_cost_paths` produces.
+    alive: Vec<PathId>,
+    /// Lazily computed failure-aware shortest path, used when the whole
+    /// equal-cost set is down. `None` = not yet computed.
+    fallback: Option<Option<PathId>>,
+}
+
+impl EcmpProvider {
+    /// Creates an empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn refresh(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.cache.clear();
+            self.epoch = epoch;
+        }
+    }
+}
+
+impl PathProvider for EcmpProvider {
+    fn route(
+        &mut self,
+        g: &Graph,
+        arena: &mut PathArena,
+        failed: &FailedLinks,
+        spec: &FlowSpec,
+    ) -> Option<RoutedConn> {
+        self.refresh(failed.epoch());
+        let entry = self
+            .cache
+            .entry((spec.src, spec.dst))
+            .or_insert_with(|| EcmpEntry {
+                alive: ecmp::equal_cost_paths(g, spec.src, spec.dst)
+                    .into_iter()
+                    .filter(|p| failed.path_alive(&p.links))
+                    .map(|p| arena.intern(p))
+                    .collect(),
+                fallback: None,
+            });
+        let chosen = if entry.alive.is_empty() {
+            // Equal-cost set fully failed: any surviving path.
+            (*entry.fallback.get_or_insert_with(|| {
+                dijkstra::shortest_path_by(g, spec.src, spec.dst, |l| {
+                    if failed.is_down(l) {
+                        f64::INFINITY
+                    } else {
+                        1.0
+                    }
+                })
+                .map(|(_, p)| arena.intern(p))
+            }))?
+        } else {
+            // Same selection as `ecmp::select_by_hash` over the alive set.
+            let i =
+                (ecmp::flow_hash(spec.src, spec.dst, spec.id) % entry.alive.len() as u64) as usize;
+            entry.alive[i]
+        };
+        Some(RoutedConn {
+            path_ids: vec![chosen],
+            subflow_weight: 1.0,
+        })
+    }
+}
+
+/// MPTCP over the k-shortest paths.
+///
+/// With no failures, routes come from the [`RouteTable`]'s switch-pair
+/// cache (splice per pair cached here as interned ids). With failures,
+/// the failure-aware Yen result is cached per server pair for the
+/// current epoch — the rerouting burst after a failure computes each
+/// pair once, and later arrivals on the pair are lookups.
+#[derive(Debug)]
+pub struct MptcpProvider {
+    k: usize,
+    coupled: bool,
+    rt: RouteTable,
+    cache: HashMap<(NodeId, NodeId), Option<RoutedConn>>,
+    epoch: u64,
+}
+
+impl MptcpProvider {
+    /// Provider for `k` subflows; `coupled` selects LIA-style weights.
+    pub fn new(k: usize, coupled: bool) -> Self {
+        Self {
+            k,
+            coupled,
+            rt: RouteTable::new(k.max(1)),
+            cache: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    fn refresh(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.cache.clear();
+            self.epoch = epoch;
+        }
+    }
+}
+
+impl PathProvider for MptcpProvider {
+    fn route(
+        &mut self,
+        g: &Graph,
+        arena: &mut PathArena,
+        failed: &FailedLinks,
+        spec: &FlowSpec,
+    ) -> Option<RoutedConn> {
+        self.refresh(failed.epoch());
+        let key = (spec.src, spec.dst);
+        if let Some(cached) = self.cache.get(&key) {
+            return cached.clone();
+        }
+        let paths = if !failed.any() {
+            self.rt.server_paths(g, spec.src, spec.dst)
+        } else {
+            yen::k_shortest_paths_by(g, spec.src, spec.dst, self.k, |l| {
+                if failed.is_down(l) {
+                    f64::INFINITY
+                } else {
+                    1.0
+                }
+            })
+        };
+        let routed = if paths.is_empty() {
+            None
+        } else {
+            let weight = if self.coupled {
+                1.0 / paths.len() as f64
+            } else {
+                1.0
+            };
+            Some(RoutedConn {
+                path_ids: paths.into_iter().map(|p| arena.intern(p)).collect(),
+                subflow_weight: weight,
+            })
+        };
+        self.cache.insert(key, routed.clone());
+        routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{LinkId, NodeKind};
+
+    /// Diamond: s - e0 - {x, y} - e1 - t, all 10G.
+    fn diamond() -> (Graph, NodeId, NodeId, LinkId) {
+        let mut g = Graph::new();
+        let e0 = g.add_node(NodeKind::EdgeSwitch, "e0");
+        let e1 = g.add_node(NodeKind::EdgeSwitch, "e1");
+        let x = g.add_node(NodeKind::CoreSwitch, "x");
+        let y = g.add_node(NodeKind::CoreSwitch, "y");
+        let (via_x, _) = g.add_duplex_link(e0, x, 10.0);
+        g.add_duplex_link(x, e1, 10.0);
+        g.add_duplex_link(e0, y, 10.0);
+        g.add_duplex_link(y, e1, 10.0);
+        let s = g.add_node(NodeKind::Server, "s");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, e0, 10.0);
+        g.add_duplex_link(t, e1, 10.0);
+        (g, s, t, via_x)
+    }
+
+    fn spec(id: u64, src: NodeId, dst: NodeId) -> FlowSpec {
+        FlowSpec {
+            id,
+            src,
+            dst,
+            bytes: 1.0,
+            start: 0.0,
+        }
+    }
+
+    #[test]
+    fn mptcp_caches_within_epoch_and_invalidates_on_failure() {
+        let (g, s, t, via_x) = diamond();
+        let mut arena = PathArena::new();
+        let mut failed = FailedLinks::new(g.link_count());
+        let mut p = MptcpProvider::new(2, true);
+        let before = p.route(&g, &mut arena, &failed, &spec(0, s, t)).unwrap();
+        assert_eq!(before.path_ids.len(), 2);
+        assert!((before.subflow_weight - 0.5).abs() < 1e-12);
+        // Same epoch: cached, identical ids.
+        let again = p.route(&g, &mut arena, &failed, &spec(1, s, t)).unwrap();
+        assert_eq!(before.path_ids, again.path_ids);
+        // Cut x; cache must refresh and drop the x path.
+        failed.fail(via_x);
+        if let Some(rev) = g.link(via_x).reverse {
+            failed.fail(rev);
+        }
+        let after = p.route(&g, &mut arena, &failed, &spec(2, s, t)).unwrap();
+        assert_eq!(after.path_ids.len(), 1);
+        assert!(failed.path_alive(arena.links(after.path_ids[0])));
+        assert!((after.subflow_weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecmp_selection_matches_uncached_hash_choice() {
+        let (g, s, t, _) = diamond();
+        let mut arena = PathArena::new();
+        let failed = FailedLinks::new(g.link_count());
+        let mut p = EcmpProvider::new();
+        for id in 0..16u64 {
+            let got = p.route(&g, &mut arena, &failed, &spec(id, s, t)).unwrap();
+            let all = ecmp::equal_cost_paths(&g, s, t);
+            let want = ecmp::select_by_hash(&all, s, t, id).unwrap();
+            assert_eq!(arena.get(got.path_ids[0]), want, "flow {id}");
+        }
+    }
+
+    #[test]
+    fn ecmp_falls_back_to_survivor_when_equal_cost_set_dies() {
+        // Line with a longer detour: s - e0 - x - e1 - t and
+        // e0 - a - b - e1 as a 2-switch detour.
+        let mut g = Graph::new();
+        let e0 = g.add_node(NodeKind::EdgeSwitch, "e0");
+        let e1 = g.add_node(NodeKind::EdgeSwitch, "e1");
+        let x = g.add_node(NodeKind::CoreSwitch, "x");
+        let a = g.add_node(NodeKind::CoreSwitch, "a");
+        let b = g.add_node(NodeKind::CoreSwitch, "b");
+        let (via_x, _) = g.add_duplex_link(e0, x, 10.0);
+        g.add_duplex_link(x, e1, 10.0);
+        g.add_duplex_link(e0, a, 10.0);
+        g.add_duplex_link(a, b, 10.0);
+        g.add_duplex_link(b, e1, 10.0);
+        let s = g.add_node(NodeKind::Server, "s");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, e0, 10.0);
+        g.add_duplex_link(t, e1, 10.0);
+
+        let mut arena = PathArena::new();
+        let mut failed = FailedLinks::new(g.link_count());
+        failed.fail(via_x);
+        if let Some(rev) = g.link(via_x).reverse {
+            failed.fail(rev);
+        }
+        let mut p = EcmpProvider::new();
+        let got = p
+            .route(&g, &mut arena, &failed, &spec(7, s, t))
+            .expect("detour exists");
+        let links = arena.links(got.path_ids[0]);
+        assert!(failed.path_alive(links));
+        assert_eq!(links.len(), 5, "s-e0-a-b-e1-t detour");
+    }
+}

@@ -1,16 +1,26 @@
 //! The discrete-event simulation loop.
+//!
+//! The engine works on interned paths ([`netgraph::PathArena`]): active
+//! connections hold `PathId`s, rate allocation runs on a reusable
+//! [`mcf::AllocWorkspace`], failures live in a dense
+//! [`FailedLinks`](crate::failures::FailedLinks) set, and routing goes
+//! through a [`PathProvider`] whose cache is invalidated by failure
+//! epoch. The produced [`SimResult`] is bit-identical to the
+//! pre-refactor engine (kept as
+//! [`reference::simulate_reference`](crate::reference::simulate_reference)).
 
-use crate::alloc::{connection_rates, ConnPaths};
-use netgraph::{ecmp, yen, Graph, LinkId, NodeId};
-use routing::RouteTable;
+use crate::failures::FailedLinks;
+use crate::provider::{EcmpProvider, MptcpProvider, PathProvider};
+use mcf::AllocWorkspace;
+use netgraph::{Graph, LinkId, NodeId, PathArena, PathId};
 use serde::{Deserialize, Serialize};
 
 /// Bytes below which a flow counts as finished (flows are KB-scale+).
-const DONE_BYTES: f64 = 1e-3;
+pub(crate) const DONE_BYTES: f64 = 1e-3;
 /// Gbps below which a flow is considered stalled.
-const STALL_RATE: f64 = 1e-12;
+pub(crate) const STALL_RATE: f64 = 1e-12;
 /// Gbps → bytes/second.
-const GBPS_TO_BPS: f64 = 1e9 / 8.0;
+pub(crate) const GBPS_TO_BPS: f64 = 1e9 / 8.0;
 
 /// A flow to simulate, endpoints already bound to graph nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,7 +55,10 @@ pub enum Transport {
 impl Transport {
     /// The paper's main configuration: 8-path coupled MPTCP.
     pub fn mptcp8() -> Self {
-        Transport::Mptcp { k: 8, coupled: true }
+        Transport::Mptcp {
+            k: 8,
+            coupled: true,
+        }
     }
 }
 
@@ -147,7 +160,8 @@ struct Active {
     rec_idx: usize,
     spec: FlowSpec,
     remaining: f64,
-    conn: ConnPaths,
+    path_ids: Vec<PathId>,
+    subflow_weight: f64,
 }
 
 /// Runs the fluid simulation.
@@ -155,12 +169,30 @@ struct Active {
 /// Flows may arrive in any order (sorted internally). Unroutable flows
 /// (disconnected endpoints) are recorded as never finishing.
 pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
-    let mut caps: Vec<f64> = g.link_ids().map(|l| g.link(l).capacity_gbps).collect();
-    let k = match cfg.transport {
-        Transport::TcpEcmp => 1,
-        Transport::Mptcp { k, .. } => k,
-    };
-    let mut rt = RouteTable::new(k.max(1));
+    match cfg.transport {
+        Transport::TcpEcmp => simulate_with_provider(g, flows, cfg, &mut EcmpProvider::new()),
+        Transport::Mptcp { k, coupled } => {
+            simulate_with_provider(g, flows, cfg, &mut MptcpProvider::new(k, coupled))
+        }
+    }
+}
+
+/// Runs the fluid simulation with a caller-supplied routing provider.
+///
+/// [`simulate`] wires the standard providers for [`Transport`]; this
+/// entry point lets experiments substitute custom routing (the provider
+/// must be deterministic — see [`PathProvider`]). Note `cfg.transport`
+/// still selects the fairness weights reported by the provider itself;
+/// the engine uses whatever the provider returns.
+pub fn simulate_with_provider<P: PathProvider + ?Sized>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    provider: &mut P,
+) -> SimResult {
+    let mut caps = g.capacities();
+    let mut arena = PathArena::new();
+    let mut ws = AllocWorkspace::new();
 
     // Records in input order; simulation works on a start-sorted index.
     let mut records: Vec<FlowRecord> = flows
@@ -182,7 +214,7 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
     });
     let mut failures = cfg.link_failures.clone();
     failures.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
-    let mut failed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut failed = FailedLinks::new(g.link_count());
 
     let mut next_arrival = 0usize;
     let mut next_failure = 0usize;
@@ -190,61 +222,29 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
     let mut series = Vec::new();
     let mut t = 0.0f64;
 
-    let route = |rt: &mut RouteTable, failed: &std::collections::HashSet<usize>, spec: &FlowSpec| -> Option<ConnPaths> {
-        match cfg.transport {
-            Transport::TcpEcmp => {
-                let all = ecmp::equal_cost_paths(g, spec.src, spec.dst);
-                let alive: Vec<netgraph::Path> = all
-                    .into_iter()
-                    .filter(|p| p.links.iter().all(|l| !failed.contains(&l.idx())))
-                    .collect();
-                let path = match ecmp::select_by_hash(&alive, spec.src, spec.dst, spec.id) {
-                    Some(p) => p.clone(),
-                    None => {
-                        // Equal-cost set fully failed: any surviving path.
-                        netgraph::dijkstra::shortest_path_by(g, spec.src, spec.dst, |l| {
-                            if failed.contains(&l.idx()) {
-                                f64::INFINITY
-                            } else {
-                                1.0
-                            }
-                        })
-                        .map(|(_, p)| p)?
-                    }
-                };
-                Some(ConnPaths {
-                    paths: vec![path],
-                    subflow_weight: 1.0,
-                })
-            }
-            Transport::Mptcp { k, coupled } => {
-                let paths: Vec<netgraph::Path> = if failed.is_empty() {
-                    rt.server_paths(g, spec.src, spec.dst)
-                } else {
-                    yen::k_shortest_paths_by(g, spec.src, spec.dst, k, |l| {
-                        if failed.contains(&l.idx()) {
-                            f64::INFINITY
-                        } else {
-                            1.0
-                        }
-                    })
-                };
-                if paths.is_empty() {
-                    return None;
-                }
-                let weight = if coupled { 1.0 / paths.len() as f64 } else { 1.0 };
-                Some(ConnPaths {
-                    paths,
-                    subflow_weight: weight,
-                })
-            }
-        }
-    };
+    // Reused across events: subflow→connection owner map and the folded
+    // per-connection rates.
+    let mut owner: Vec<u32> = Vec::new();
+    let mut rates: Vec<f64> = Vec::new();
 
     loop {
-        // Allocate under the current active set.
-        let conns: Vec<ConnPaths> = active.iter().map(|a| a.conn.clone()).collect();
-        let rates = connection_rates(&caps, &conns);
+        // Allocate under the current active set. Entities are pushed in
+        // (connection, subflow) order — exactly the entity list the old
+        // engine built per event — so the rates are bit-identical.
+        ws.clear();
+        owner.clear();
+        for (ci, a) in active.iter().enumerate() {
+            for &pid in &a.path_ids {
+                ws.push_entity(a.subflow_weight, arena.links(pid).iter().map(|l| l.idx()));
+                owner.push(ci as u32);
+            }
+        }
+        let sub_rates = ws.allocate(&caps);
+        rates.clear();
+        rates.resize(active.len(), 0.0);
+        for (&r, &ci) in sub_rates.iter().zip(&owner) {
+            rates[ci as usize] += r;
+        }
         if cfg.record_series {
             series.push((t, rates.iter().sum()));
         }
@@ -257,13 +257,13 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
             .zip(&rates)
             .filter(|(_, &r)| r > STALL_RATE)
             .map(|(a, &r)| t + a.remaining / (r * GBPS_TO_BPS))
-            .fold(None::<f64>, |acc, x| {
-                Some(acc.map_or(x, |a| a.min(x)))
-            });
+            .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.min(x))));
         let candidates = [t_arr, t_fail, t_fin];
-        let Some(t_next) = candidates.iter().flatten().fold(None::<f64>, |acc, &x| {
-            Some(acc.map_or(x, |a| a.min(x)))
-        }) else {
+        let Some(t_next) = candidates
+            .iter()
+            .flatten()
+            .fold(None::<f64>, |acc, &x| Some(acc.map_or(x, |a| a.min(x))))
+        else {
             // No events left; anything still active is stalled forever.
             break;
         };
@@ -293,12 +293,13 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
             let spec = flows[idx];
             assert_ne!(spec.src, spec.dst, "self-flow {}", spec.id);
             assert!(spec.bytes > 0.0, "empty flow {}", spec.id);
-            match route(&mut rt, &failed, &spec) {
+            match provider.route(g, &mut arena, &failed, &spec) {
                 Some(conn) => active.push(Active {
                     rec_idx: idx,
                     spec,
                     remaining: spec.bytes,
-                    conn,
+                    path_ids: conn.path_ids,
+                    subflow_weight: conn.subflow_weight,
                 }),
                 None => { /* unroutable: record stays unfinished */ }
             }
@@ -308,10 +309,10 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
         while next_failure < failures.len() && failures[next_failure].time <= t + 1e-15 {
             let f = failures[next_failure];
             next_failure += 1;
-            failed.insert(f.link.idx());
+            failed.fail(f.link);
             caps[f.link.idx()] = 0.0;
             if let Some(rev) = g.link(f.link).reverse {
-                failed.insert(rev.idx());
+                failed.fail(rev);
                 caps[rev.idx()] = 0.0;
             }
             failed_now = true;
@@ -320,29 +321,23 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
             // Re-route connections that lost a subflow.
             for a in active.iter_mut() {
                 let hit = a
-                    .conn
-                    .paths
+                    .path_ids
                     .iter()
-                    .any(|p| p.links.iter().any(|l| failed.contains(&l.idx())));
+                    .any(|&pid| !failed.path_alive(arena.links(pid)));
                 if hit {
-                    if let Some(conn) = route(&mut rt, &failed, &a.spec) {
-                        a.conn = conn;
+                    let spec = a.spec;
+                    if let Some(conn) = provider.route(g, &mut arena, &failed, &spec) {
+                        a.path_ids = conn.path_ids;
+                        a.subflow_weight = conn.subflow_weight;
                     } else {
                         // Keep only surviving subflows (possibly none).
-                        a.conn.paths.retain(|p| {
-                            p.links.iter().all(|l| !failed.contains(&l.idx()))
-                        });
+                        a.path_ids
+                            .retain(|&pid| failed.path_alive(arena.links(pid)));
                     }
                 }
             }
-            active.retain(|a| {
-                if a.conn.paths.is_empty() {
-                    // Permanently stalled; finish stays None.
-                    false
-                } else {
-                    true
-                }
-            });
+            // Permanently stalled connections drop out; finish stays None.
+            active.retain(|a| !a.path_ids.is_empty());
         }
     }
 
@@ -374,7 +369,13 @@ mod tests {
     }
 
     fn spec(id: u64, src: NodeId, dst: NodeId, bytes: f64, start: f64) -> FlowSpec {
-        FlowSpec { id, src, dst, bytes, start }
+        FlowSpec {
+            id,
+            src,
+            dst,
+            bytes,
+            start,
+        }
     }
 
     #[test]
@@ -440,7 +441,10 @@ mod tests {
         let (g, s, core) = dumbbell();
         let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.0)];
         let cfg = SimConfig {
-            link_failures: vec![LinkFailure { time: 0.5, link: core }],
+            link_failures: vec![LinkFailure {
+                time: 0.5,
+                link: core,
+            }],
             ..SimConfig::default()
         };
         let res = simulate(&g, &flows, &cfg);
@@ -465,8 +469,14 @@ mod tests {
         g.add_duplex_link(s1, e1, 10.0);
         let flows = vec![spec(0, s0, s1, 1.25e9, 0.0)];
         let cfg = SimConfig {
-            transport: Transport::Mptcp { k: 2, coupled: true },
-            link_failures: vec![LinkFailure { time: 0.5, link: via_x }],
+            transport: Transport::Mptcp {
+                k: 2,
+                coupled: true,
+            },
+            link_failures: vec![LinkFailure {
+                time: 0.5,
+                link: via_x,
+            }],
             record_series: false,
         };
         let res = simulate(&g, &flows, &cfg);
@@ -484,7 +494,10 @@ mod tests {
             let res = simulate(
                 &g,
                 &flows,
-                &SimConfig { transport, ..SimConfig::default() },
+                &SimConfig {
+                    transport,
+                    ..SimConfig::default()
+                },
             );
             assert!((res.records[0].fct().unwrap() - 1.0).abs() < 1e-9);
         }
@@ -508,5 +521,50 @@ mod tests {
         let peak = res.series.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
         assert!((peak - 10.0).abs() < 1e-9, "peak {peak}");
         assert!(res.end_time > 0.0);
+    }
+
+    /// Refactored engine vs the preserved pre-refactor engine: identical
+    /// bits on a workload covering both transports and a mid-flight
+    /// failure with reroute and with stall.
+    #[test]
+    fn matches_reference_engine_bitwise() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0),
+            spec(1, s[1], s[3], 0.625e9, 0.25),
+            spec(2, s[0], s[1], 0.3e9, 0.4),
+            spec(3, s[2], s[0], 0.9e9, 0.8),
+        ];
+        for transport in [
+            Transport::TcpEcmp,
+            Transport::mptcp8(),
+            Transport::Mptcp {
+                k: 2,
+                coupled: false,
+            },
+        ] {
+            for failures in [
+                vec![],
+                vec![LinkFailure {
+                    time: 0.5,
+                    link: core,
+                }],
+            ] {
+                let cfg = SimConfig {
+                    transport,
+                    link_failures: failures,
+                    record_series: true,
+                };
+                let new = simulate(&g, &flows, &cfg);
+                let old = crate::reference::simulate_reference(&g, &flows, &cfg);
+                assert_eq!(new.records, old.records, "{transport:?}");
+                assert_eq!(new.series.len(), old.series.len());
+                for (a, b) in new.series.iter().zip(&old.series) {
+                    assert_eq!(a.0.to_bits(), b.0.to_bits(), "{transport:?}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "{transport:?}");
+                }
+                assert_eq!(new.end_time.to_bits(), old.end_time.to_bits());
+            }
+        }
     }
 }

@@ -19,12 +19,7 @@ fn random_flows(n_servers: usize, n_flows: usize, seed: u64) -> Vec<(usize, usiz
             while dst == src {
                 dst = rng.gen_range(0..n_servers);
             }
-            (
-                src,
-                dst,
-                rng.gen_range(1e5..5e8),
-                rng.gen_range(0.0..0.5),
-            )
+            (src, dst, rng.gen_range(1e5..5e8), rng.gen_range(0.0..0.5))
         })
         .collect()
 }

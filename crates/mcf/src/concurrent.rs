@@ -117,7 +117,7 @@ pub fn max_concurrent_flow(g: &Graph, commodities: &[Commodity], epsilon: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netgraph::{NodeId, NodeKind};
+    use netgraph::NodeKind;
 
     /// s0,s1 -> shared 10G link -> t0,t1.
     fn shared_bottleneck() -> (Graph, Vec<Commodity>) {
@@ -163,7 +163,11 @@ mod tests {
         g.add_duplex_link(b, t, 40.0);
         let coms = vec![Commodity::unit(s, t)];
         let r = max_concurrent_flow(&g, &coms, 0.05);
-        assert!(r.lambda > 18.0 && r.lambda <= 20.0 + 1e-9, "λ = {}", r.lambda);
+        assert!(
+            r.lambda > 18.0 && r.lambda <= 20.0 + 1e-9,
+            "λ = {}",
+            r.lambda
+        );
     }
 
     #[test]

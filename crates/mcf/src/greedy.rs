@@ -93,7 +93,7 @@ mod tests {
         ];
         g.add_duplex_link(sw[0], sw[1], 10.0);
         g.add_duplex_link(sw[1], sw[2], 10.0);
-        let mut server = |at: usize, name: &str, g: &mut Graph| {
+        let server = |at: usize, name: &str, g: &mut Graph| {
             let s = g.add_node(NodeKind::Server, name);
             g.add_duplex_link(s, sw[at], 100.0);
             s
@@ -105,14 +105,30 @@ mod tests {
         let c0 = server(1, "c0", &mut g);
         let c1 = server(2, "c1", &mut g);
         let coms = vec![
-            Commodity { src: a0, dst: a1, demand: 100.0 },
-            Commodity { src: b0, dst: b1, demand: 100.0 },
-            Commodity { src: c0, dst: c1, demand: 100.0 },
+            Commodity {
+                src: a0,
+                dst: a1,
+                demand: 100.0,
+            },
+            Commodity {
+                src: b0,
+                dst: b1,
+                demand: 100.0,
+            },
+            Commodity {
+                src: c0,
+                dst: c1,
+                demand: 100.0,
+            },
         ];
         let rates = max_total_flow(&g, &coms);
         assert!(rates[1] >= 10.0 - 1e-9);
         assert!(rates[2] >= 10.0 - 1e-9);
-        assert!(rates[0] <= 1e-9, "long flow should be starved, got {}", rates[0]);
+        assert!(
+            rates[0] <= 1e-9,
+            "long flow should be starved, got {}",
+            rates[0]
+        );
         assert!((mean(&rates) - 20.0 / 3.0).abs() < 1e-9);
     }
 
@@ -126,7 +142,11 @@ mod tests {
         let t = g.add_node(NodeKind::Server, "t");
         g.add_duplex_link(s, x, 40.0);
         g.add_duplex_link(t, y, 40.0);
-        let coms = vec![Commodity { src: s, dst: t, demand: 10.0 }];
+        let coms = vec![Commodity {
+            src: s,
+            dst: t,
+            demand: 10.0,
+        }];
         let rates = max_total_flow(&g, &coms);
         assert!((rates[0] - 10.0).abs() < 1e-9, "capped at NIC demand");
     }
@@ -147,7 +167,11 @@ mod tests {
         g.add_duplex_link(x, b, 10.0);
         g.add_duplex_link(y, b, 10.0);
         g.add_duplex_link(b, t, 40.0);
-        let coms = vec![Commodity { src: s, dst: t, demand: 20.0 }];
+        let coms = vec![Commodity {
+            src: s,
+            dst: t,
+            demand: 20.0,
+        }];
         let rates = max_total_flow(&g, &coms);
         assert!((rates[0] - 20.0).abs() < 1e-9);
     }
@@ -165,7 +189,11 @@ mod tests {
                 let t = g.add_node(NodeKind::Server, format!("t{i}"));
                 g.add_duplex_link(s, sw0, 10.0);
                 g.add_duplex_link(t, sw1, 10.0);
-                coms.push(Commodity { src: s, dst: t, demand: 10.0 });
+                coms.push(Commodity {
+                    src: s,
+                    dst: t,
+                    demand: 10.0,
+                });
             }
             (g, coms)
         };

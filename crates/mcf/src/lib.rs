@@ -23,9 +23,18 @@
 //!   fluid simulator uses for TCP/MPTCP, shared here so LP baselines and
 //!   the simulator agree on primitives.
 
+//!
+//! The max-min filling loop is implemented once in
+//! [`workspace::AllocWorkspace`], a caller-owned scratch that hot loops
+//! (the fluid simulator) reuse across allocations;
+//! [`maxmin::weighted_max_min`] is a thin convenience wrapper over it.
+
 pub mod concurrent;
 pub mod greedy;
 pub mod maxmin;
+pub mod workspace;
+
+pub use workspace::AllocWorkspace;
 
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};

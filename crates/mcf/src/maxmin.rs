@@ -31,70 +31,14 @@ pub struct Entity {
 /// Complexity: O(rounds × Σ|links|), rounds ≤ number of distinct
 /// bottlenecks ≤ number of links.
 pub fn weighted_max_min(capacity: &[f64], entities: &[Entity]) -> Vec<f64> {
+    // Thin wrapper over the reusable workspace; the filling loop lives in
+    // `workspace::AllocWorkspace::allocate` and produces bit-identical
+    // rates. Callers in a hot loop should own an `AllocWorkspace` instead.
+    let mut ws = crate::workspace::AllocWorkspace::new();
     for e in entities {
-        assert!(!e.links.is_empty(), "entity with empty path");
-        assert!(e.weight > 0.0, "entity weight must be positive");
+        ws.push_entity(e.weight, e.links.iter().copied());
     }
-    let mut rates = vec![0.0; entities.len()];
-    if entities.is_empty() {
-        return rates;
-    }
-    let mut rem_cap = capacity.to_vec();
-    // Active weight per link.
-    let mut act_w = vec![0.0f64; capacity.len()];
-    let mut users: Vec<Vec<usize>> = vec![Vec::new(); capacity.len()];
-    for (i, e) in entities.iter().enumerate() {
-        for &l in &e.links {
-            act_w[l] += e.weight;
-            users[l].push(i);
-        }
-    }
-    let mut frozen = vec![false; entities.len()];
-    let mut remaining = entities.len();
-    // Links that still have active (unfrozen) users.
-    let mut live_links: Vec<usize> = (0..capacity.len()).filter(|&l| act_w[l] > 1e-12).collect();
-    while remaining > 0 {
-        // Most contended share among live links.
-        let mut min_share = f64::INFINITY;
-        for &l in &live_links {
-            if act_w[l] > 1e-12 {
-                let share = rem_cap[l].max(0.0) / act_w[l];
-                if share < min_share {
-                    min_share = share;
-                }
-            }
-        }
-        if !min_share.is_finite() {
-            break; // no active links left (shouldn't happen with users)
-        }
-        // Freeze every active entity crossing *any* link at the minimum
-        // share (simultaneous bottlenecks resolve in one round — crucial
-        // for the symmetric NIC-bound case).
-        let threshold = min_share * (1.0 + 1e-12) + 1e-15;
-        let mut victims: Vec<usize> = Vec::new();
-        for &l in &live_links {
-            if act_w[l] > 1e-12 && rem_cap[l].max(0.0) / act_w[l] <= threshold {
-                for &i in &users[l] {
-                    if !frozen[i] {
-                        frozen[i] = true;
-                        victims.push(i);
-                    }
-                }
-            }
-        }
-        debug_assert!(!victims.is_empty());
-        for i in victims {
-            let rate = entities[i].weight * min_share;
-            rates[i] = rate;
-            remaining -= 1;
-            for &l in &entities[i].links {
-                rem_cap[l] -= rate;
-                act_w[l] -= entities[i].weight;
-            }
-        }
-        live_links.retain(|&l| act_w[l] > 1e-12);
-    }
-    rates
+    ws.allocate(capacity).to_vec()
 }
 
 /// Convenience: unweighted max-min over paths given as link-index lists.
@@ -168,8 +112,14 @@ mod tests {
     #[test]
     fn weights_shift_shares() {
         let entities = vec![
-            Entity { weight: 3.0, links: vec![0] },
-            Entity { weight: 1.0, links: vec![0] },
+            Entity {
+                weight: 3.0,
+                links: vec![0],
+            },
+            Entity {
+                weight: 1.0,
+                links: vec![0],
+            },
         ];
         let rates = weighted_max_min(&[8.0], &entities);
         assert!((rates[0] - 6.0).abs() < 1e-9);
@@ -192,7 +142,10 @@ mod tests {
     #[test]
     fn empty_is_fine_and_verifier_catches_overload() {
         assert!(max_min(&[1.0], &[]).is_empty());
-        let entities = vec![Entity { weight: 1.0, links: vec![0] }];
+        let entities = vec![Entity {
+            weight: 1.0,
+            links: vec![0],
+        }];
         assert!(verify_max_min(&[1.0], &entities, &[2.0]).is_err());
     }
 

@@ -1,0 +1,290 @@
+//! Reusable allocation workspace for progressive-filling max-min.
+//!
+//! [`maxmin::weighted_max_min`](crate::maxmin::weighted_max_min) builds
+//! five scratch vectors per call; inside the fluid simulator's event loop
+//! that is one allocation burst *per event*. [`AllocWorkspace`] keeps all
+//! scratch across calls and stores entities in CSR form (one flat link
+//! pool instead of a `Vec` per entity), so a steady-state simulation
+//! reallocates with zero heap traffic.
+//!
+//! The filling loop performs the exact floating-point operations of
+//! `weighted_max_min` in the exact order, so the two produce bit-identical
+//! rates for the same input (pinned by tests and a property test).
+
+/// Caller-owned scratch for repeated max-min allocations.
+///
+/// Usage per round: [`clear`](Self::clear), one
+/// [`push_entity`](Self::push_entity) per rate receiver (in a fixed,
+/// deterministic order — entity order affects tie-breaking exactly as it
+/// does in `weighted_max_min`), then [`allocate`](Self::allocate).
+#[derive(Debug, Clone, Default)]
+pub struct AllocWorkspace {
+    // Entities, CSR layout: entity i has weight ent_weight[i] and links
+    // ent_links[ent_off[i] .. ent_off[i + 1]].
+    ent_weight: Vec<f64>,
+    ent_off: Vec<u32>,
+    ent_links: Vec<u32>,
+    // Filling-loop scratch, retained across calls.
+    rem_cap: Vec<f64>,
+    act_w: Vec<f64>,
+    users: Vec<Vec<u32>>,
+    frozen: Vec<bool>,
+    live_links: Vec<usize>,
+    victims: Vec<u32>,
+    rates: Vec<f64>,
+}
+
+impl AllocWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all entities, keeping scratch capacity.
+    pub fn clear(&mut self) {
+        self.ent_weight.clear();
+        self.ent_off.clear();
+        self.ent_links.clear();
+    }
+
+    /// Adds one rate receiver crossing the given link indices.
+    ///
+    /// Panics on an empty link set or non-positive weight, matching
+    /// `weighted_max_min`'s input contract.
+    pub fn push_entity(&mut self, weight: f64, links: impl IntoIterator<Item = usize>) {
+        assert!(weight > 0.0, "entity weight must be positive");
+        if self.ent_off.is_empty() {
+            self.ent_off.push(0);
+        }
+        let before = self.ent_links.len();
+        self.ent_links.extend(links.into_iter().map(|l| l as u32));
+        assert!(self.ent_links.len() > before, "entity with empty path");
+        self.ent_weight.push(weight);
+        self.ent_off.push(self.ent_links.len() as u32);
+    }
+
+    /// Number of entities pushed since the last [`clear`](Self::clear).
+    pub fn num_entities(&self) -> usize {
+        self.ent_weight.len()
+    }
+
+    /// Computes the weighted max-min fair rate of every pushed entity.
+    ///
+    /// Returns one rate per entity, in push order; the slice is valid
+    /// until the next call. Bit-identical to
+    /// [`weighted_max_min`](crate::maxmin::weighted_max_min) on the
+    /// equivalent input.
+    pub fn allocate(&mut self, capacity: &[f64]) -> &[f64] {
+        let n = self.ent_weight.len();
+        self.rates.clear();
+        self.rates.resize(n, 0.0);
+        if n == 0 {
+            return &self.rates;
+        }
+        debug_assert!(
+            self.ent_links
+                .iter()
+                .all(|&l| (l as usize) < capacity.len()),
+            "entity link index out of capacity range"
+        );
+
+        self.rem_cap.clear();
+        self.rem_cap.extend_from_slice(capacity);
+        self.act_w.clear();
+        self.act_w.resize(capacity.len(), 0.0);
+        if self.users.len() < capacity.len() {
+            self.users.resize_with(capacity.len(), Vec::new);
+        }
+        for u in &mut self.users[..capacity.len()] {
+            u.clear();
+        }
+        for i in 0..n {
+            let w = self.ent_weight[i];
+            for idx in self.ent_off[i]..self.ent_off[i + 1] {
+                let l = self.ent_links[idx as usize] as usize;
+                self.act_w[l] += w;
+                self.users[l].push(i as u32);
+            }
+        }
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+        let mut remaining = n;
+        self.live_links.clear();
+        self.live_links
+            .extend((0..capacity.len()).filter(|&l| self.act_w[l] > 1e-12));
+
+        while remaining > 0 {
+            // Most contended share among live links.
+            let mut min_share = f64::INFINITY;
+            for &l in &self.live_links {
+                if self.act_w[l] > 1e-12 {
+                    let share = self.rem_cap[l].max(0.0) / self.act_w[l];
+                    if share < min_share {
+                        min_share = share;
+                    }
+                }
+            }
+            if !min_share.is_finite() {
+                break; // no active links left (shouldn't happen with users)
+            }
+            // Freeze every active entity crossing *any* link at the
+            // minimum share (simultaneous bottlenecks resolve in one
+            // round — crucial for the symmetric NIC-bound case).
+            let threshold = min_share * (1.0 + 1e-12) + 1e-15;
+            self.victims.clear();
+            for &l in &self.live_links {
+                if self.act_w[l] > 1e-12 && self.rem_cap[l].max(0.0) / self.act_w[l] <= threshold {
+                    for &i in &self.users[l] {
+                        if !self.frozen[i as usize] {
+                            self.frozen[i as usize] = true;
+                            self.victims.push(i);
+                        }
+                    }
+                }
+            }
+            debug_assert!(!self.victims.is_empty());
+            for v in 0..self.victims.len() {
+                let i = self.victims[v] as usize;
+                let w = self.ent_weight[i];
+                let rate = w * min_share;
+                self.rates[i] = rate;
+                remaining -= 1;
+                for idx in self.ent_off[i]..self.ent_off[i + 1] {
+                    let l = self.ent_links[idx as usize] as usize;
+                    self.rem_cap[l] -= rate;
+                    self.act_w[l] -= w;
+                }
+            }
+            let act_w = &self.act_w;
+            self.live_links.retain(|&l| act_w[l] > 1e-12);
+        }
+        &self.rates
+    }
+
+    /// Rates from the most recent [`allocate`](Self::allocate) call.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmin::{weighted_max_min, Entity};
+
+    fn via_workspace(capacity: &[f64], entities: &[Entity]) -> Vec<f64> {
+        let mut ws = AllocWorkspace::new();
+        for e in entities {
+            ws.push_entity(e.weight, e.links.iter().copied());
+        }
+        ws.allocate(capacity).to_vec()
+    }
+
+    #[test]
+    fn matches_weighted_max_min_bitwise() {
+        let cases: Vec<(Vec<f64>, Vec<Entity>)> = vec![
+            (
+                vec![10.0],
+                vec![
+                    Entity {
+                        weight: 1.0,
+                        links: vec![0],
+                    },
+                    Entity {
+                        weight: 1.0,
+                        links: vec![0],
+                    },
+                ],
+            ),
+            (
+                vec![10.0, 10.0],
+                vec![
+                    Entity {
+                        weight: 1.0,
+                        links: vec![0, 1],
+                    },
+                    Entity {
+                        weight: 1.0,
+                        links: vec![0],
+                    },
+                    Entity {
+                        weight: 1.0,
+                        links: vec![1],
+                    },
+                ],
+            ),
+            (
+                vec![4.0, 10.0, 7.3],
+                vec![
+                    Entity {
+                        weight: 2.5,
+                        links: vec![0, 1],
+                    },
+                    Entity {
+                        weight: 1.0,
+                        links: vec![0, 2],
+                    },
+                    Entity {
+                        weight: 0.5,
+                        links: vec![1, 2],
+                    },
+                    Entity {
+                        weight: 1.0,
+                        links: vec![2],
+                    },
+                ],
+            ),
+        ];
+        for (cap, ents) in cases {
+            let a = weighted_max_min(&cap, &ents);
+            let b = via_workspace(&cap, &ents);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "rates must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_across_calls_is_clean() {
+        let mut ws = AllocWorkspace::new();
+        ws.push_entity(1.0, [0usize, 1]);
+        ws.push_entity(1.0, [0usize]);
+        let first = ws.allocate(&[10.0, 10.0]).to_vec();
+        assert_eq!(first.len(), 2);
+        // Second round: different shape and capacity vector length.
+        ws.clear();
+        ws.push_entity(3.0, [0usize]);
+        ws.push_entity(1.0, [0usize]);
+        let second = ws.allocate(&[8.0]).to_vec();
+        assert!((second[0] - 6.0).abs() < 1e-9);
+        assert!((second[1] - 2.0).abs() < 1e-9);
+        // Third round: back to the first shape, rates must match round one.
+        ws.clear();
+        ws.push_entity(1.0, [0usize, 1]);
+        ws.push_entity(1.0, [0usize]);
+        let third = ws.allocate(&[10.0, 10.0]).to_vec();
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn empty_workspace_allocates_nothing() {
+        let mut ws = AllocWorkspace::new();
+        assert!(ws.allocate(&[5.0]).is_empty());
+        assert_eq!(ws.num_entities(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty path")]
+    fn rejects_empty_links() {
+        let mut ws = AllocWorkspace::new();
+        ws.push_entity(1.0, std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn rejects_bad_weight() {
+        let mut ws = AllocWorkspace::new();
+        ws.push_entity(0.0, [0usize]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Path interning: deduplicated storage of [`Path`]s behind cheap
+//! copyable [`PathId`] handles.
+//!
+//! The simulation layers reroute and reallocate constantly over a small,
+//! recurring set of paths (k-shortest paths per pair, ECMP members).
+//! Cloning a `Path` — two heap vectors — per connection per event
+//! dominated the old event loop. Interning each distinct path once in a
+//! [`PathArena`] turns every later mention into a 4-byte id: connections
+//! hold `Vec<PathId>`, and allocation reads link lists straight out of
+//! the arena without copying.
+
+use crate::graph::{LinkId, NodeId};
+use crate::path::Path;
+use std::collections::HashMap;
+
+/// Handle to an interned [`Path`] in a [`PathArena`].
+///
+/// Ids are dense indices in first-interning order, so they are stable for
+/// the arena's lifetime and usable as `Vec` indices via [`PathId::idx`].
+/// A `PathId` is only meaningful together with the arena that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The index as `usize`, for direct `Vec` access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only, deduplicating store of [`Path`]s.
+///
+/// Interning the same path twice returns the same [`PathId`]; ids are
+/// assigned densely in first-interning order, so identical interning
+/// sequences produce identical ids on every platform.
+#[derive(Debug, Clone, Default)]
+pub struct PathArena {
+    paths: Vec<Path>,
+    index: HashMap<Path, PathId>,
+}
+
+impl PathArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a path, returning the existing id if an equal path was
+    /// interned before.
+    pub fn intern(&mut self, path: Path) -> PathId {
+        if let Some(&id) = self.index.get(&path) {
+            return id;
+        }
+        let id = PathId(self.paths.len() as u32);
+        self.index.insert(path.clone(), id);
+        self.paths.push(path);
+        id
+    }
+
+    /// Interns every path in a slice, preserving order.
+    pub fn intern_all(&mut self, paths: &[Path]) -> Vec<PathId> {
+        paths.iter().map(|p| self.intern(p.clone())).collect()
+    }
+
+    /// The interned path.
+    #[inline]
+    pub fn get(&self, id: PathId) -> &Path {
+        &self.paths[id.idx()]
+    }
+
+    /// Directed links of the interned path (the hot accessor: allocation
+    /// only ever needs the link list).
+    #[inline]
+    pub fn links(&self, id: PathId) -> &[LinkId] {
+        &self.paths[id.idx()].links
+    }
+
+    /// Nodes of the interned path, endpoints included.
+    #[inline]
+    pub fn nodes(&self, id: PathId) -> &[NodeId] {
+        &self.paths[id.idx()].nodes
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// All interned paths with their ids, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &Path)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId(i as u32), p))
+    }
+}
+
+impl std::ops::Index<PathId> for PathArena {
+    type Output = Path;
+
+    fn index(&self, id: PathId) -> &Path {
+        self.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, NodeKind};
+
+    fn two_paths() -> (Path, Path) {
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::Server, "s");
+        let a = g.add_node(NodeKind::EdgeSwitch, "a");
+        let b = g.add_node(NodeKind::EdgeSwitch, "b");
+        let t = g.add_node(NodeKind::Server, "t");
+        g.add_duplex_link(s, a, 10.0);
+        g.add_duplex_link(a, b, 10.0);
+        g.add_duplex_link(b, t, 10.0);
+        g.add_duplex_link(a, t, 10.0);
+        (
+            Path::from_nodes(&g, &[s, a, b, t]).unwrap(),
+            Path::from_nodes(&g, &[s, a, t]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let (p1, p2) = two_paths();
+        let mut arena = PathArena::new();
+        let a = arena.intern(p1.clone());
+        let b = arena.intern(p2.clone());
+        let a2 = arena.intern(p1.clone());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), &p1);
+        assert_eq!(arena[b], p2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let (p1, p2) = two_paths();
+        let mut arena = PathArena::new();
+        let ids = arena.intern_all(&[p1.clone(), p2.clone(), p1.clone()]);
+        assert_eq!(ids[0].idx(), 0);
+        assert_eq!(ids[1].idx(), 1);
+        assert_eq!(ids[0], ids[2]);
+        let collected: Vec<_> = arena.iter().map(|(id, _)| id).collect();
+        assert_eq!(collected, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn accessors_match_path_contents() {
+        let (p1, _) = two_paths();
+        let mut arena = PathArena::new();
+        let id = arena.intern(p1.clone());
+        assert_eq!(arena.links(id), p1.links.as_slice());
+        assert_eq!(arena.nodes(id), p1.nodes.as_slice());
+    }
+}

@@ -125,12 +125,14 @@ where
             debug_assert!(w >= 0.0, "negative link length");
             let cand = cost + w;
             let better = cand < dist[v.idx()]
-                || (cand == dist[v.idx()]
-                    && prev[v.idx()].map(|(p, _)| u < p).unwrap_or(false));
+                || (cand == dist[v.idx()] && prev[v.idx()].map(|(p, _)| u < p).unwrap_or(false));
             if better && !done[v.idx()] {
                 dist[v.idx()] = cand;
                 prev[v.idx()] = Some((u, l));
-                heap.push(HeapEntry { cost: cand, node: v });
+                heap.push(HeapEntry {
+                    cost: cand,
+                    node: v,
+                });
             }
         }
     }
@@ -212,8 +214,7 @@ mod tests {
         let (g, [s, a, b, c, t]) = diamond();
         let blocked = g.find_link(a, t).unwrap();
         let (_, p) =
-            shortest_path_by(&g, s, t, |l| if l == blocked { f64::INFINITY } else { 1.0 })
-                .unwrap();
+            shortest_path_by(&g, s, t, |l| if l == blocked { f64::INFINITY } else { 1.0 }).unwrap();
         assert_eq!(p.nodes, vec![s, b, c, t]);
     }
 

@@ -120,7 +120,7 @@ pub fn ecmp_path(g: &Graph, src: NodeId, dst: NodeId, flow_id: u64) -> Option<Pa
 
 /// Selects from a precomputed equal-cost set (avoids re-enumeration when
 /// the caller caches [`equal_cost_paths`]).
-pub fn select_by_hash<'a>(paths: &'a [Path], src: NodeId, dst: NodeId, flow_id: u64) -> Option<&'a Path> {
+pub fn select_by_hash(paths: &[Path], src: NodeId, dst: NodeId, flow_id: u64) -> Option<&Path> {
     if paths.is_empty() {
         return None;
     }

@@ -134,7 +134,12 @@ impl Graph {
 
     /// Adds a full-duplex cable between `a` and `b` (two directed links of
     /// equal capacity that reference each other). Returns `(a→b, b→a)`.
-    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, capacity_gbps: f64) -> (LinkId, LinkId) {
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_gbps: f64,
+    ) -> (LinkId, LinkId) {
         let ab = self.add_directed_link(a, b, capacity_gbps);
         let ba = self.add_directed_link(b, a, capacity_gbps);
         self.links[ab.idx()].reverse = Some(ba);
@@ -226,6 +231,15 @@ impl Graph {
             .map(|&(_, l)| l)
     }
 
+    /// Per-link capacities in Gbps, indexed by `LinkId::idx()`.
+    ///
+    /// This is the canonical capacity vector every allocation and
+    /// simulation layer starts from; build it once per graph instead of
+    /// re-collecting link metadata at each call site.
+    pub fn capacities(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.capacity_gbps).collect()
+    }
+
     /// Total one-directional capacity in Gbps of all links from `kinds.0`
     /// nodes to `kinds.1` nodes. Useful for oversubscription accounting.
     pub fn capacity_between(&self, from: NodeKind, to: NodeKind) -> f64 {
@@ -287,9 +301,28 @@ mod tests {
     #[test]
     fn capacity_between_kinds() {
         let (g, _, _, _) = tiny();
-        assert_eq!(g.capacity_between(NodeKind::EdgeSwitch, NodeKind::CoreSwitch), 40.0);
-        assert_eq!(g.capacity_between(NodeKind::Server, NodeKind::EdgeSwitch), 10.0);
-        assert_eq!(g.capacity_between(NodeKind::Server, NodeKind::CoreSwitch), 0.0);
+        assert_eq!(
+            g.capacity_between(NodeKind::EdgeSwitch, NodeKind::CoreSwitch),
+            40.0
+        );
+        assert_eq!(
+            g.capacity_between(NodeKind::Server, NodeKind::EdgeSwitch),
+            10.0
+        );
+        assert_eq!(
+            g.capacity_between(NodeKind::Server, NodeKind::CoreSwitch),
+            0.0
+        );
+    }
+
+    #[test]
+    fn capacities_indexed_by_link_id() {
+        let (g, s, e, c) = tiny();
+        let caps = g.capacities();
+        assert_eq!(caps.len(), g.link_count());
+        assert_eq!(caps[g.find_link(s, e).unwrap().idx()], 10.0);
+        assert_eq!(caps[g.find_link(e, c).unwrap().idx()], 40.0);
+        assert_eq!(caps[g.find_link(c, e).unwrap().idx()], 40.0);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! assert_eq!(paths[0].nodes, vec![s, a, b, t]);
 //! ```
 
+pub mod arena;
 pub mod dijkstra;
 pub mod dot;
 pub mod ecmp;
@@ -47,5 +48,6 @@ pub mod metrics;
 pub mod path;
 pub mod yen;
 
+pub use arena::{PathArena, PathId};
 pub use graph::{Graph, LinkId, LinkInfo, NodeId, NodeInfo, NodeKind};
 pub use path::Path;

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(max, 4); // sw0: sw2 + 3 servers
         assert!((mean - 3.0).abs() < 1e-12);
         let counts = attached_server_counts(&g, NodeKind::EdgeSwitch);
-        assert_eq!(counts.iter().map(|&(_, c)| c).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(
+            counts.iter().map(|&(_, c)| c).collect::<Vec<_>>(),
+            vec![3, 1]
+        );
     }
 
     #[test]

@@ -54,8 +54,7 @@ where
                     removed_links.insert(p.links[i]);
                 }
             }
-            let removed_nodes: HashSet<NodeId> =
-                root_nodes[..i].iter().copied().collect();
+            let removed_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
 
             let spur_path = shortest_path_masked(
                 g,
@@ -127,7 +126,17 @@ mod tests {
         let f = g.add_node(NodeKind::GenericSwitch, "f");
         let gg = g.add_node(NodeKind::GenericSwitch, "g");
         let h = g.add_node(NodeKind::GenericSwitch, "h");
-        for (a, b) in [(c, d), (c, e), (d, f), (e, d), (e, f), (f, h), (f, gg), (gg, h), (e, gg)] {
+        for (a, b) in [
+            (c, d),
+            (c, e),
+            (d, f),
+            (e, d),
+            (e, f),
+            (f, h),
+            (f, gg),
+            (gg, h),
+            (e, gg),
+        ] {
             g.add_duplex_link(a, b, 10.0);
         }
         (g, [c, d, e, f, gg, h])

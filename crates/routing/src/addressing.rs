@@ -35,8 +35,11 @@ pub enum TopologyModeId {
 
 impl TopologyModeId {
     /// All defined mode ids.
-    pub const ALL: [TopologyModeId; 3] =
-        [TopologyModeId::Global, TopologyModeId::Local, TopologyModeId::Clos];
+    pub const ALL: [TopologyModeId; 3] = [
+        TopologyModeId::Global,
+        TopologyModeId::Local,
+        TopologyModeId::Clos,
+    ];
 
     fn from_bits(v: u32) -> Option<Self> {
         match v {
@@ -102,7 +105,7 @@ impl FlatTreeAddress {
 /// MPTCP full-mesh gives `a²` subflows from `a` addresses per end, so
 /// `a = ceil(sqrt(k))` (§4.1).
 pub fn addresses_for_k(k: usize) -> usize {
-    assert!(k >= 1 && k <= 64, "3-bit path field supports k <= 64");
+    assert!((1..=64).contains(&k), "3-bit path field supports k <= 64");
     (1..=8).find(|a| a * a >= k).expect("k <= 64")
 }
 
@@ -121,7 +124,10 @@ impl AddressPlan {
     /// Switch ids are node ids (stable across modes by construction);
     /// server ids order the servers under each ingress switch by node id
     /// ("ordered from left to right", Figure 5b).
-    pub fn build(instances: &[(TopologyModeId, &FlatTreeInstance)], k_per_mode: &HashMap<TopologyModeId, usize>) -> Self {
+    pub fn build(
+        instances: &[(TopologyModeId, &FlatTreeInstance)],
+        k_per_mode: &HashMap<TopologyModeId, usize>,
+    ) -> Self {
         let mut server_addrs: HashMap<NodeId, Vec<FlatTreeAddress>> = HashMap::new();
         for (mode, inst) in instances {
             let k = *k_per_mode.get(mode).unwrap_or(&8);
@@ -177,7 +183,11 @@ impl AddressPlan {
 
 /// Checks the aggregation invariant used by ingress-switch prefix rules:
 /// all addresses of all servers under one switch share a /24 per path id.
-pub fn verify_prefix_aggregation(g: &Graph, plan: &AddressPlan, mode: TopologyModeId) -> Result<(), String> {
+pub fn verify_prefix_aggregation(
+    g: &Graph,
+    plan: &AddressPlan,
+    mode: TopologyModeId,
+) -> Result<(), String> {
     let mut by_prefix: HashMap<u32, NodeId> = HashMap::new();
     for (&server, addrs) in &plan.server_addrs {
         let sw = g

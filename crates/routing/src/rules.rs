@@ -206,7 +206,12 @@ pub fn compile_ip_rules(g: &Graph, k: usize, mode: TopologyModeId) -> RuleSet {
 /// Compiles the source-routing rule set: static `D × C` per-TTL rules on
 /// every switch plus `S · k` route rules at each ingress switch (one per
 /// reachable egress switch per path).
-pub fn compile_source_routing_rules(g: &Graph, k: usize, diameter: usize, mode: TopologyModeId) -> RuleSet {
+pub fn compile_source_routing_rules(
+    g: &Graph,
+    k: usize,
+    diameter: usize,
+    mode: TopologyModeId,
+) -> RuleSet {
     let mut rt = RouteTable::new(k);
     let mut set = RuleSet::default();
     // Static transit rules: identical on every switch; the out_port equals
@@ -276,7 +281,15 @@ impl StateAnalysis {
     /// * `n` servers, `big_n` switches, `s` ingress/egress switches,
     /// * `k` concurrent paths, `avg_len` average path length (switch
     ///   hops), `diameter` and `port_count` for the static rules.
-    pub fn compute(n: usize, big_n: usize, s: usize, k: usize, avg_len: f64, diameter: usize, port_count: usize) -> Self {
+    pub fn compute(
+        n: usize,
+        big_n: usize,
+        s: usize,
+        k: usize,
+        avg_len: f64,
+        diameter: usize,
+        port_count: usize,
+    ) -> Self {
         let nf = n as f64;
         let sf = s as f64;
         let kf = k as f64;
@@ -310,7 +323,12 @@ mod tests {
             (TopologyModeId::Clos, PodMode::Clos),
         ]
         .into_iter()
-        .map(|(mid, pm)| (mid, ft.instantiate(&ModeAssignment::uniform(4, pm)).net.graph))
+        .map(|(mid, pm)| {
+            (
+                mid,
+                ft.instantiate(&ModeAssignment::uniform(4, pm)).net.graph,
+            )
+        })
         .collect()
     }
 

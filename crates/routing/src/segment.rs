@@ -75,7 +75,7 @@ impl LabelStack {
 
     /// Parses an encoded stack.
     pub fn decode(mut buf: &[u8]) -> Result<Self, String> {
-        if buf.len() % 4 != 0 {
+        if !buf.len().is_multiple_of(4) {
             return Err("label stack length must be a multiple of 4".into());
         }
         let mut labels = Vec::with_capacity(buf.len() / 4);
@@ -141,8 +141,7 @@ impl Pce {
             .iter()
             .map(|p| Self::compile(g, p))
             .collect();
-        self.installed
-            .insert((ingress, egress), stacks.clone());
+        self.installed.insert((ingress, egress), stacks.clone());
         stacks
     }
 
@@ -159,7 +158,11 @@ impl Pce {
     /// Executes a stack from an ingress switch: each transit switch pops
     /// the top label and forwards on that port. Returns the nodes
     /// visited; the last one should be the destination server.
-    pub fn forward(g: &Graph, ingress: NodeId, mut stack: LabelStack) -> Result<Vec<NodeId>, String> {
+    pub fn forward(
+        g: &Graph,
+        ingress: NodeId,
+        mut stack: LabelStack,
+    ) -> Result<Vec<NodeId>, String> {
         let mut at = ingress;
         let mut visited = vec![ingress];
         while let Some(label) = stack.pop() {

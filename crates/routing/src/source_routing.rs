@@ -107,7 +107,12 @@ pub fn compile_path(g: &Graph, path: &Path) -> Result<Vec<u8>, String> {
 /// Starting at the ingress switch with [`INITIAL_TTL`], each switch
 /// extracts its port, forwards, and decrements the TTL. Returns the node
 /// sequence visited (switches + final endpoint).
-pub fn forward(g: &Graph, ingress: NodeId, header: SourceRouteHeader, hops: usize) -> Result<Vec<NodeId>, String> {
+pub fn forward(
+    g: &Graph,
+    ingress: NodeId,
+    header: SourceRouteHeader,
+    hops: usize,
+) -> Result<Vec<NodeId>, String> {
     let mut visited = vec![ingress];
     let mut at = ingress;
     let mut h = header;

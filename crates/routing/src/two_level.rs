@@ -148,11 +148,7 @@ impl TwoLevelRouting {
             .ok_or("src is not an attached server")?;
         nodes.push(at);
         for _ in 0..16 {
-            if let Some(&(v, _)) = g
-                .neighbors(at)
-                .iter()
-                .find(|&&(v, _)| v == dst)
-            {
+            if let Some(&(v, _)) = g.neighbors(at).iter().find(|&&(v, _)| v == dst) {
                 nodes.push(v);
                 return Path::from_nodes(g, &nodes).ok_or_else(|| "loop".into());
             }

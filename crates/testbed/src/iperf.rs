@@ -47,11 +47,26 @@ impl IperfParams {
     pub fn paper_timeline() -> Self {
         Self {
             segments: vec![
-                Segment { start_s: 0.0, mode: PodMode::Clos },
-                Segment { start_s: 60.0, mode: PodMode::Global },
-                Segment { start_s: 120.0, mode: PodMode::Local },
-                Segment { start_s: 180.0, mode: PodMode::Clos },
-                Segment { start_s: 240.0, mode: PodMode::Global },
+                Segment {
+                    start_s: 0.0,
+                    mode: PodMode::Clos,
+                },
+                Segment {
+                    start_s: 60.0,
+                    mode: PodMode::Global,
+                },
+                Segment {
+                    start_s: 120.0,
+                    mode: PodMode::Local,
+                },
+                Segment {
+                    start_s: 180.0,
+                    mode: PodMode::Clos,
+                },
+                Segment {
+                    start_s: 240.0,
+                    mode: PodMode::Global,
+                },
             ],
             duration_s: 300.0,
             sample_interval_s: 0.5,
@@ -231,7 +246,10 @@ mod tests {
         let local = steady_state_gbps(&rig, PodMode::Local);
         let global = steady_state_gbps(&rig, PodMode::Global);
         assert!(global > clos * 1.10, "global {global} vs clos {clos}");
-        assert!((local - clos).abs() / clos < 0.25, "local {local} vs clos {clos}");
+        assert!(
+            (local - clos).abs() / clos < 0.25,
+            "local {local} vs clos {clos}"
+        );
         // Clos steady state is bounded by its 160G core.
         assert!(clos <= 160.0 + 1e-6);
     }

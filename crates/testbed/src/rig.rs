@@ -65,7 +65,10 @@ mod tests {
         let p = testbed_params();
         p.validate().unwrap();
         // 20 switches: 4 pods x 4 + 4 cores; 24 servers.
-        assert_eq!(p.clos.pods * (p.clos.edges_per_pod + p.clos.aggs_per_pod) + p.clos.num_cores, 20);
+        assert_eq!(
+            p.clos.pods * (p.clos.edges_per_pod + p.clos.aggs_per_pod) + p.clos.num_cores,
+            20
+        );
         assert_eq!(p.clos.total_servers(), 24);
         // 1.5:1 oversubscription (§5.3).
         assert!((p.clos.edge_oversubscription() - 1.5).abs() < 1e-12);
@@ -99,11 +102,10 @@ mod tests {
     fn global_mode_moves_servers_to_cores() {
         let rig = TestbedRig::new();
         let inst = rig.instance(PodMode::Global);
-        let on_core: usize =
-            metrics::attached_server_counts(&inst.net.graph, NodeKind::CoreSwitch)
-                .iter()
-                .map(|&(_, c)| c)
-                .sum();
+        let on_core: usize = metrics::attached_server_counts(&inst.net.graph, NodeKind::CoreSwitch)
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
         assert_eq!(on_core, 8); // 4 pods x 2 edges x m=1
     }
 }

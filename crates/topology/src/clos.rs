@@ -83,22 +83,24 @@ impl ClosParams {
         if self.pods == 0 || self.edges_per_pod == 0 || self.aggs_per_pod == 0 {
             return Err("pods, edges_per_pod, aggs_per_pod must be positive".into());
         }
-        if self.edges_per_pod % self.aggs_per_pod != 0 {
+        if !self.edges_per_pod.is_multiple_of(self.aggs_per_pod) {
             return Err("edges_per_pod must be a multiple of aggs_per_pod (§3.1)".into());
         }
-        if self.edge_uplinks == 0 || self.edge_uplinks % self.aggs_per_pod != 0 {
+        if self.edge_uplinks == 0 || !self.edge_uplinks.is_multiple_of(self.aggs_per_pod) {
             return Err("edge_uplinks must be a positive multiple of aggs_per_pod".into());
         }
-        if self.agg_uplinks == 0 || self.agg_uplinks % self.r() != 0 {
+        if self.agg_uplinks == 0 || !self.agg_uplinks.is_multiple_of(self.r()) {
             return Err("agg_uplinks must be a positive multiple of r = d/a (§3.2)".into());
         }
-        if self.num_cores == 0 || (self.aggs_per_pod * self.agg_uplinks) % self.num_cores != 0 {
+        if self.num_cores == 0
+            || !(self.aggs_per_pod * self.agg_uplinks).is_multiple_of(self.num_cores)
+        {
             return Err("num_cores must divide aggs_per_pod * agg_uplinks".into());
         }
         if self.servers_per_edge == 0 {
             return Err("servers_per_edge must be positive".into());
         }
-        if !(self.link_gbps > 0.0) {
+        if self.link_gbps <= 0.0 || self.link_gbps.is_nan() {
             return Err("link_gbps must be positive".into());
         }
         Ok(())
@@ -309,7 +311,10 @@ pub struct ClosNetwork {
 /// `k` pods of `k/2` edge and `k/2` aggregation switches, `k/2` servers per
 /// edge, `(k/2)^2` cores. `k` must be even.
 pub fn fat_tree(k: usize) -> ClosParams {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires even k >= 2"
+    );
     ClosParams {
         pods: k,
         edges_per_pod: k / 2,
@@ -365,7 +370,8 @@ mod tests {
     #[test]
     fn core_degree_is_uniform() {
         let c = ClosParams::mini().build();
-        let (min, max, _) = metrics::degree_stats(&c.net.graph, netgraph::NodeKind::CoreSwitch).unwrap();
+        let (min, max, _) =
+            metrics::degree_stats(&c.net.graph, netgraph::NodeKind::CoreSwitch).unwrap();
         assert_eq!(min, max, "every core must see the same number of cables");
         // Each core: one agg link per pod (a*h == C ⇒ one per pod).
         assert_eq!(min, 4);

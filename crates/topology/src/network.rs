@@ -42,9 +42,7 @@ impl DcNetwork {
 
     /// Pod index of a server (by node id), if the network has pods.
     pub fn pod_of_server(&self, server: NodeId) -> Option<usize> {
-        self.pod_servers
-            .iter()
-            .position(|p| p.contains(&server))
+        self.pod_servers.iter().position(|p| p.contains(&server))
     }
 
     /// The rack (ingress switch) of a server.

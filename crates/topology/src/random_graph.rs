@@ -77,7 +77,10 @@ impl RandomGraphParams {
     /// the identical network.
     pub fn build(&self) -> DcNetwork {
         for attempt in 0..64u64 {
-            let net = self.build_once(self.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let net = self.build_once(
+                self.seed
+                    .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
             if net.validate().is_ok() {
                 return net;
             }
@@ -133,7 +136,7 @@ impl RandomGraphParams {
         for (a, b) in links {
             g.add_duplex_link(switches[a], switches[b], self.link_gbps);
         }
-        let net = DcNetwork {
+        DcNetwork {
             name: "random-graph".into(),
             graph: g,
             servers,
@@ -141,8 +144,7 @@ impl RandomGraphParams {
             edges: Vec::new(),
             aggs: Vec::new(),
             cores: Vec::new(),
-        };
-        net
+        }
     }
 }
 
@@ -277,8 +279,7 @@ mod tests {
         net.validate().unwrap();
         // Each switch: 2 servers + 6 network links (all ports used, even
         // total), so switch degree is exactly 8.
-        let (min, max, _) =
-            metrics::degree_stats(&net.graph, NodeKind::GenericSwitch).unwrap();
+        let (min, max, _) = metrics::degree_stats(&net.graph, NodeKind::GenericSwitch).unwrap();
         assert_eq!((min, max), (8, 8));
     }
 

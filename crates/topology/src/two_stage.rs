@@ -44,7 +44,10 @@ impl TwoStageParams {
     /// pairings can strand a switch on tiny instances).
     pub fn build(&self) -> DcNetwork {
         for attempt in 0..64u64 {
-            let net = self.build_once(self.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let net = self.build_once(
+                self.seed
+                    .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
             if net.validate().is_ok() {
                 return net;
             }
@@ -161,7 +164,11 @@ impl TwoStageParams {
                 break; // only same-group stubs remain; leave them dark
             };
             let (b_sw, _) = stubs.swap_remove(i);
-            let key = if a_sw <= b_sw { (a_sw, b_sw) } else { (b_sw, a_sw) };
+            let key = if a_sw <= b_sw {
+                (a_sw, b_sw)
+            } else {
+                (b_sw, a_sw)
+            };
             *mult.entry(key).or_insert(0) += 1;
         }
         for ((x, y), m) in mult {
@@ -169,7 +176,7 @@ impl TwoStageParams {
         }
 
         let servers: Vec<NodeId> = pod_servers.iter().flatten().copied().collect();
-        let net = DcNetwork {
+        DcNetwork {
             name: "two-stage-random-graph".into(),
             graph: g,
             servers,
@@ -177,8 +184,7 @@ impl TwoStageParams {
             edges,
             aggs,
             cores,
-        };
-        net
+        }
     }
 }
 

@@ -14,7 +14,10 @@ fn roundtrip(net: &DcNetwork) {
     for l in net.graph.link_ids() {
         let a = net.graph.link(l);
         let b = back.graph.link(l);
-        assert_eq!((a.src, a.dst, a.capacity_gbps), (b.src, b.dst, b.capacity_gbps));
+        assert_eq!(
+            (a.src, a.dst, a.capacity_gbps),
+            (b.src, b.dst, b.capacity_gbps)
+        );
     }
     back.validate().expect("reloaded network is valid");
 }
@@ -31,7 +34,13 @@ fn random_graph_roundtrips() {
 
 #[test]
 fn two_stage_roundtrips() {
-    roundtrip(&TwoStageParams { clos: ClosParams::mini(), seed: 4 }.build());
+    roundtrip(
+        &TwoStageParams {
+            clos: ClosParams::mini(),
+            seed: 4,
+        }
+        .build(),
+    );
 }
 
 #[test]

@@ -75,7 +75,7 @@ impl Workload {
             if f.src == f.dst {
                 return Err(format!("flow {} is a self-flow", f.id));
             }
-            if !(f.bytes > 0.0) {
+            if f.bytes <= 0.0 || f.bytes.is_nan() {
                 return Err(format!("flow {} has nonpositive size", f.id));
             }
         }

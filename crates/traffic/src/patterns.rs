@@ -79,7 +79,12 @@ pub fn clustered_all_to_all(num_servers: usize, cluster: usize) -> Vec<(usize, u
 
 /// A random subset of clusters for scaled-down runs: keeps experiment
 /// cost bounded while preserving the pattern's locality structure.
-pub fn sample_clusters(pairs: Vec<(usize, usize)>, cluster: usize, keep: usize, seed: u64) -> Vec<(usize, usize)> {
+pub fn sample_clusters(
+    pairs: Vec<(usize, usize)>,
+    cluster: usize,
+    keep: usize,
+    seed: u64,
+) -> Vec<(usize, usize)> {
     let mut by_cluster: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
         std::collections::BTreeMap::new();
     for p in pairs {

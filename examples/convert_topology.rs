@@ -19,9 +19,7 @@ fn main() {
 
     let pods = rig.controller.flat_tree().pods();
     for mode in [PodMode::Global, PodMode::Local, PodMode::Clos] {
-        let report = rig
-            .controller
-            .convert(&ModeAssignment::uniform(pods, mode));
+        let report = rig.controller.convert(&ModeAssignment::uniform(pods, mode));
         println!(
             "convert {} -> {}: {} crosspoints, -{} / +{} rules, \
              OCS {:.0} ms + del {:.0} ms + add {:.0} ms = {:.0} ms",

@@ -53,7 +53,10 @@ fn mean_fct(inst: &flat_tree::FlatTreeInstance, flows: &[FlowSpec]) -> f64 {
         &inst.net.graph,
         flows,
         &SimConfig {
-            transport: Transport::Mptcp { k: 4, coupled: true },
+            transport: Transport::Mptcp {
+                k: 4,
+                coupled: true,
+            },
             ..SimConfig::default()
         },
     );

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-778cd61f66849960.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-778cd61f66849960: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d1600000e273d05c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d1600000e273d05c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig10-e2711786b3d84d7f.d: crates/bench/benches/bench_fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig10-e2711786b3d84d7f.rmeta: crates/bench/benches/bench_fig10.rs Cargo.toml
+
+crates/bench/benches/bench_fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig11-fb559a3ebd7b7eac.d: crates/bench/benches/bench_fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig11-fb559a3ebd7b7eac.rmeta: crates/bench/benches/bench_fig11.rs Cargo.toml
+
+crates/bench/benches/bench_fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig7-9438d143b59e5960.d: crates/bench/benches/bench_fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig7-9438d143b59e5960.rmeta: crates/bench/benches/bench_fig7.rs Cargo.toml
+
+crates/bench/benches/bench_fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

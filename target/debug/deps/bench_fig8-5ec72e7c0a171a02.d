@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig8-5ec72e7c0a171a02.d: crates/bench/benches/bench_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig8-5ec72e7c0a171a02.rmeta: crates/bench/benches/bench_fig8.rs Cargo.toml
+
+crates/bench/benches/bench_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_substrates-c63466aa0a8bc538.d: crates/bench/benches/bench_substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_substrates-c63466aa0a8bc538.rmeta: crates/bench/benches/bench_substrates.rs Cargo.toml
+
+crates/bench/benches/bench_substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/control-4ac0bef0f1f29bd3.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+/root/repo/target/debug/deps/control-4ac0bef0f1f29bd3: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:

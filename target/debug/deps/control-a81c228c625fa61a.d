@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/control-a81c228c625fa61a.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+/root/repo/target/debug/deps/libcontrol-a81c228c625fa61a.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+/root/repo/target/debug/deps/libcontrol-a81c228c625fa61a.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-254e545bea24ee69.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-254e545bea24ee69: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

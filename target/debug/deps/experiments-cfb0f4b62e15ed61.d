@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-cfb0f4b62e15ed61.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-cfb0f4b62e15ed61: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5ab9a625d7090e57.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-5ab9a625d7090e57: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-5dc2072d580ceeb5.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-5dc2072d580ceeb5: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

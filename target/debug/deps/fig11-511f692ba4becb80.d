@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-511f692ba4becb80.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-511f692ba4becb80: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-e073b06fc13c0e6f.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-e073b06fc13c0e6f: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5df8999e20ab2858.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5df8999e20ab2858: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

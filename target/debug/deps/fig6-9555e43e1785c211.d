@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9555e43e1785c211.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9555e43e1785c211: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

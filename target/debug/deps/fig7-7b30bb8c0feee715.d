@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-7b30bb8c0feee715.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-7b30bb8c0feee715: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

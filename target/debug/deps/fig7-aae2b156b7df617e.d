@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-aae2b156b7df617e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-aae2b156b7df617e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-05aa61cbaf83da0b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-05aa61cbaf83da0b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-65698590293ac52a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-65698590293ac52a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flat_tree-4e08c9e37b6d494a.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+/root/repo/target/debug/deps/libflat_tree-4e08c9e37b6d494a.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+/root/repo/target/debug/deps/libflat_tree-4e08c9e37b6d494a.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/converter.rs:
+crates/core/src/interpod.rs:
+crates/core/src/layout.rs:
+crates/core/src/modes.rs:
+crates/core/src/multistage.rs:
+crates/core/src/profile.rs:
+crates/core/src/wiring.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flat_tree-4ef177730312fc81.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+/root/repo/target/debug/deps/flat_tree-4ef177730312fc81: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/converter.rs:
+crates/core/src/interpod.rs:
+crates/core/src/layout.rs:
+crates/core/src/modes.rs:
+crates/core/src/multistage.rs:
+crates/core/src/profile.rs:
+crates/core/src/wiring.rs:

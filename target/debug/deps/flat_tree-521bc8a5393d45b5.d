@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/flat_tree-521bc8a5393d45b5.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflat_tree-521bc8a5393d45b5.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/converter.rs:
+crates/core/src/interpod.rs:
+crates/core/src/layout.rs:
+crates/core/src/modes.rs:
+crates/core/src/multistage.rs:
+crates/core/src/profile.rs:
+crates/core/src/wiring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flowsim-e64047afdafc728e.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/debug/deps/libflowsim-e64047afdafc728e.rlib: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/debug/deps/libflowsim-e64047afdafc728e.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+crates/flowsim/src/lib.rs:
+crates/flowsim/src/alloc.rs:
+crates/flowsim/src/failures.rs:
+crates/flowsim/src/provider.rs:
+crates/flowsim/src/reference.rs:
+crates/flowsim/src/sim.rs:

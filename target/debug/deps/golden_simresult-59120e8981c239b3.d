@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_simresult-59120e8981c239b3.d: crates/bench/tests/golden_simresult.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_simresult-59120e8981c239b3.rmeta: crates/bench/tests/golden_simresult.rs Cargo.toml
+
+crates/bench/tests/golden_simresult.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

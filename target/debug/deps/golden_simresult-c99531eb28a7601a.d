@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_simresult-c99531eb28a7601a.d: crates/bench/tests/golden_simresult.rs
+
+/root/repo/target/debug/deps/golden_simresult-c99531eb28a7601a: crates/bench/tests/golden_simresult.rs
+
+crates/bench/tests/golden_simresult.rs:

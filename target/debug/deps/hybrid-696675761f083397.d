@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid-696675761f083397.d: crates/bench/src/bin/hybrid.rs
+
+/root/repo/target/debug/deps/hybrid-696675761f083397: crates/bench/src/bin/hybrid.rs
+
+crates/bench/src/bin/hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid-8e2090c60de553e4.d: crates/bench/src/bin/hybrid.rs
+
+/root/repo/target/debug/deps/hybrid-8e2090c60de553e4: crates/bench/src/bin/hybrid.rs
+
+crates/bench/src/bin/hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_conversion-152e96e363acce95.d: crates/bench/../../tests/integration_conversion.rs
+
+/root/repo/target/debug/deps/integration_conversion-152e96e363acce95: crates/bench/../../tests/integration_conversion.rs
+
+crates/bench/../../tests/integration_conversion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-0ceb187638245842.d: crates/bench/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-0ceb187638245842: crates/bench/../../tests/integration_extensions.rs
+
+crates/bench/../../tests/integration_extensions.rs:

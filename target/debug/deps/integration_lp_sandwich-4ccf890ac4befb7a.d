@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_lp_sandwich-4ccf890ac4befb7a.d: crates/bench/../../tests/integration_lp_sandwich.rs
+
+/root/repo/target/debug/deps/integration_lp_sandwich-4ccf890ac4befb7a: crates/bench/../../tests/integration_lp_sandwich.rs
+
+crates/bench/../../tests/integration_lp_sandwich.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-f5fc56c63b8a2ad3.d: crates/bench/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-f5fc56c63b8a2ad3: crates/bench/../../tests/integration_pipeline.rs
+
+crates/bench/../../tests/integration_pipeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mcf-1242b35989650386.d: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcf-1242b35989650386.rmeta: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs Cargo.toml
+
+crates/mcf/src/lib.rs:
+crates/mcf/src/concurrent.rs:
+crates/mcf/src/greedy.rs:
+crates/mcf/src/maxmin.rs:
+crates/mcf/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

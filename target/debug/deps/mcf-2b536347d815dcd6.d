@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcf-2b536347d815dcd6.d: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+/root/repo/target/debug/deps/mcf-2b536347d815dcd6: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+crates/mcf/src/lib.rs:
+crates/mcf/src/concurrent.rs:
+crates/mcf/src/greedy.rs:
+crates/mcf/src/maxmin.rs:
+crates/mcf/src/workspace.rs:

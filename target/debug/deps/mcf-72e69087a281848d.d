@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcf-72e69087a281848d.d: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+/root/repo/target/debug/deps/libmcf-72e69087a281848d.rlib: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+/root/repo/target/debug/deps/libmcf-72e69087a281848d.rmeta: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+crates/mcf/src/lib.rs:
+crates/mcf/src/concurrent.rs:
+crates/mcf/src/greedy.rs:
+crates/mcf/src/maxmin.rs:
+crates/mcf/src/workspace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/netgraph-3b07786991505363.d: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetgraph-3b07786991505363.rmeta: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs Cargo.toml
+
+crates/netgraph/src/lib.rs:
+crates/netgraph/src/arena.rs:
+crates/netgraph/src/dijkstra.rs:
+crates/netgraph/src/dot.rs:
+crates/netgraph/src/ecmp.rs:
+crates/netgraph/src/graph.rs:
+crates/netgraph/src/metrics.rs:
+crates/netgraph/src/path.rs:
+crates/netgraph/src/yen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

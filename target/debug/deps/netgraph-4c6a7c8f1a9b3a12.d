@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/netgraph-4c6a7c8f1a9b3a12.d: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+/root/repo/target/debug/deps/netgraph-4c6a7c8f1a9b3a12: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+crates/netgraph/src/lib.rs:
+crates/netgraph/src/arena.rs:
+crates/netgraph/src/dijkstra.rs:
+crates/netgraph/src/dot.rs:
+crates/netgraph/src/ecmp.rs:
+crates/netgraph/src/graph.rs:
+crates/netgraph/src/metrics.rs:
+crates/netgraph/src/path.rs:
+crates/netgraph/src/yen.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/netgraph-c12174c73124845f.d: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+/root/repo/target/debug/deps/libnetgraph-c12174c73124845f.rlib: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+/root/repo/target/debug/deps/libnetgraph-c12174c73124845f.rmeta: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+crates/netgraph/src/lib.rs:
+crates/netgraph/src/arena.rs:
+crates/netgraph/src/dijkstra.rs:
+crates/netgraph/src/dot.rs:
+crates/netgraph/src/ecmp.rs:
+crates/netgraph/src/graph.rs:
+crates/netgraph/src/metrics.rs:
+crates/netgraph/src/path.rs:
+crates/netgraph/src/yen.rs:

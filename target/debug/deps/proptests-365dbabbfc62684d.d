@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-365dbabbfc62684d.d: crates/testbed/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-365dbabbfc62684d: crates/testbed/tests/proptests.rs
+
+crates/testbed/tests/proptests.rs:

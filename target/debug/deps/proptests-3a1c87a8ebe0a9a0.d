@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3a1c87a8ebe0a9a0.d: crates/control/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3a1c87a8ebe0a9a0.rmeta: crates/control/tests/proptests.rs Cargo.toml
+
+crates/control/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-425a093c5492df31.d: crates/routing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-425a093c5492df31: crates/routing/tests/proptests.rs
+
+crates/routing/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-48e5ec991dcc7e59.d: crates/netgraph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-48e5ec991dcc7e59: crates/netgraph/tests/proptests.rs
+
+crates/netgraph/tests/proptests.rs:

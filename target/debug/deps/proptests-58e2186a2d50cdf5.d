@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-58e2186a2d50cdf5.d: crates/flowsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-58e2186a2d50cdf5: crates/flowsim/tests/proptests.rs
+
+crates/flowsim/tests/proptests.rs:

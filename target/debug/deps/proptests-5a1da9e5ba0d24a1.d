@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5a1da9e5ba0d24a1.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5a1da9e5ba0d24a1: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

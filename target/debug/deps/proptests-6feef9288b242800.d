@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6feef9288b242800.d: crates/mcf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6feef9288b242800: crates/mcf/tests/proptests.rs
+
+crates/mcf/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7ddfe3a8f5d85db3.d: crates/traffic/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7ddfe3a8f5d85db3: crates/traffic/tests/proptests.rs
+
+crates/traffic/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a6220764f8d55f8d.d: crates/testbed/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a6220764f8d55f8d.rmeta: crates/testbed/tests/proptests.rs Cargo.toml
+
+crates/testbed/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

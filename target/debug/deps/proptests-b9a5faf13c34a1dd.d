@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b9a5faf13c34a1dd.d: crates/traffic/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b9a5faf13c34a1dd.rmeta: crates/traffic/tests/proptests.rs Cargo.toml
+
+crates/traffic/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c24669852c4bc9c3.d: crates/mcf/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c24669852c4bc9c3.rmeta: crates/mcf/tests/proptests.rs Cargo.toml
+
+crates/mcf/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-cd77943131f9d7df.d: crates/netgraph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-cd77943131f9d7df.rmeta: crates/netgraph/tests/proptests.rs Cargo.toml
+
+crates/netgraph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-dd07579ba9e4146b.d: crates/flowsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-dd07579ba9e4146b.rmeta: crates/flowsim/tests/proptests.rs Cargo.toml
+
+crates/flowsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

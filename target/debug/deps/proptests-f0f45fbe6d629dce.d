@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f0f45fbe6d629dce.d: crates/routing/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f0f45fbe6d629dce.rmeta: crates/routing/tests/proptests.rs Cargo.toml
+
+crates/routing/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

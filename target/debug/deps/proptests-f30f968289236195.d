@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f30f968289236195.d: crates/control/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f30f968289236195: crates/control/tests/proptests.rs
+
+crates/control/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-1205f24efb7be141.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-1205f24efb7be141: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

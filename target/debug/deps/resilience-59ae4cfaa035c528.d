@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-59ae4cfaa035c528.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-59ae4cfaa035c528: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/routing-40d3b1fefe48236c.d: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+/root/repo/target/debug/deps/routing-40d3b1fefe48236c: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/addressing.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/rules.rs:
+crates/routing/src/segment.rs:
+crates/routing/src/source_routing.rs:
+crates/routing/src/two_level.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/routing-483e38cefe5cd817.d: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouting-483e38cefe5cd817.rmeta: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs Cargo.toml
+
+crates/routing/src/lib.rs:
+crates/routing/src/addressing.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/rules.rs:
+crates/routing/src/segment.rs:
+crates/routing/src/source_routing.rs:
+crates/routing/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

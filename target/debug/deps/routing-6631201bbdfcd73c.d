@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/routing-6631201bbdfcd73c.d: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+/root/repo/target/debug/deps/librouting-6631201bbdfcd73c.rlib: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+/root/repo/target/debug/deps/librouting-6631201bbdfcd73c.rmeta: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/addressing.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/rules.rs:
+crates/routing/src/segment.rs:
+crates/routing/src/source_routing.rs:
+crates/routing/src/two_level.rs:

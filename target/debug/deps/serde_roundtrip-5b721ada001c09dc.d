@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-5b721ada001c09dc.d: crates/topology/tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-5b721ada001c09dc: crates/topology/tests/serde_roundtrip.rs
+
+crates/topology/tests/serde_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-ee839936d910393f.d: crates/topology/tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-ee839936d910393f.rmeta: crates/topology/tests/serde_roundtrip.rs Cargo.toml
+
+crates/topology/tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f40125d990ff50bf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f40125d990ff50bf: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e56cf144da8bd8b7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e56cf144da8bd8b7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

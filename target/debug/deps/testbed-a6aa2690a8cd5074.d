@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/testbed-a6aa2690a8cd5074.d: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/debug/deps/testbed-a6aa2690a8cd5074: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/apps.rs:
+crates/testbed/src/iperf.rs:
+crates/testbed/src/rig.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/testbed-ca0b689fed38fd20.d: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/debug/deps/libtestbed-ca0b689fed38fd20.rlib: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/debug/deps/libtestbed-ca0b689fed38fd20.rmeta: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/apps.rs:
+crates/testbed/src/iperf.rs:
+crates/testbed/src/rig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topo-0dc92f024337cf99.d: crates/bench/src/bin/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-0dc92f024337cf99.rmeta: crates/bench/src/bin/topo.rs Cargo.toml
+
+crates/bench/src/bin/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

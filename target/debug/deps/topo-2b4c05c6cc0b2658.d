@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topo-2b4c05c6cc0b2658.d: crates/bench/src/bin/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-2b4c05c6cc0b2658.rmeta: crates/bench/src/bin/topo.rs Cargo.toml
+
+crates/bench/src/bin/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topo-64a0cab740f03696.d: crates/bench/src/bin/topo.rs
+
+/root/repo/target/debug/deps/topo-64a0cab740f03696: crates/bench/src/bin/topo.rs
+
+crates/bench/src/bin/topo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topo-fefb515413570f2c.d: crates/bench/src/bin/topo.rs
+
+/root/repo/target/debug/deps/topo-fefb515413570f2c: crates/bench/src/bin/topo.rs
+
+crates/bench/src/bin/topo.rs:

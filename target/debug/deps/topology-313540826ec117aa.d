@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/topology-313540826ec117aa.d: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology-313540826ec117aa.rmeta: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/clos.rs:
+crates/topology/src/network.rs:
+crates/topology/src/random_graph.rs:
+crates/topology/src/two_stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/topology-4abcffdf7b9e1686.d: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology-4abcffdf7b9e1686.rmeta: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/clos.rs:
+crates/topology/src/network.rs:
+crates/topology/src/random_graph.rs:
+crates/topology/src/two_stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

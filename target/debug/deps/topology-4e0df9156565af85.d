@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology-4e0df9156565af85.d: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+/root/repo/target/debug/deps/topology-4e0df9156565af85: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/clos.rs:
+crates/topology/src/network.rs:
+crates/topology/src/random_graph.rs:
+crates/topology/src/two_stage.rs:

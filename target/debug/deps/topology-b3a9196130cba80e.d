@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/topology-b3a9196130cba80e.d: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+/root/repo/target/debug/deps/libtopology-b3a9196130cba80e.rlib: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+/root/repo/target/debug/deps/libtopology-b3a9196130cba80e.rmeta: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/clos.rs:
+crates/topology/src/network.rs:
+crates/topology/src/random_graph.rs:
+crates/topology/src/two_stage.rs:

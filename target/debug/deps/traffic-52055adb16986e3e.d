@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/traffic-52055adb16986e3e.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+/root/repo/target/debug/deps/libtraffic-52055adb16986e3e.rlib: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+/root/repo/target/debug/deps/libtraffic-52055adb16986e3e.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/patterns.rs:
+crates/traffic/src/traces.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/traffic-922b9e0953e9fff4.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+/root/repo/target/debug/deps/traffic-922b9e0953e9fff4: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/patterns.rs:
+crates/traffic/src/traces.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/traffic-9e8c2aca7a5f3baf.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic-9e8c2aca7a5f3baf.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/patterns.rs:
+crates/traffic/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/traffic-d694da7470fe423f.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraffic-d694da7470fe423f.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/patterns.rs:
+crates/traffic/src/traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/convert_topology-2ac188d5472100df.d: crates/bench/../../examples/convert_topology.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconvert_topology-2ac188d5472100df.rmeta: crates/bench/../../examples/convert_topology.rs Cargo.toml
+
+crates/bench/../../examples/convert_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convert_topology-849bf05e1ca8f354.d: crates/bench/../../examples/convert_topology.rs
+
+/root/repo/target/debug/examples/convert_topology-849bf05e1ca8f354: crates/bench/../../examples/convert_topology.rs
+
+crates/bench/../../examples/convert_topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_traces-26554a85cc9ef38b.d: crates/bench/../../examples/datacenter_traces.rs
+
+/root/repo/target/debug/examples/datacenter_traces-26554a85cc9ef38b: crates/bench/../../examples/datacenter_traces.rs
+
+crates/bench/../../examples/datacenter_traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_zones-0ddb2935f3ddbff8.d: crates/bench/../../examples/hybrid_zones.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_zones-0ddb2935f3ddbff8.rmeta: crates/bench/../../examples/hybrid_zones.rs Cargo.toml
+
+crates/bench/../../examples/hybrid_zones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_zones-3615855178dd6a60.d: crates/bench/../../examples/hybrid_zones.rs
+
+/root/repo/target/debug/examples/hybrid_zones-3615855178dd6a60: crates/bench/../../examples/hybrid_zones.rs
+
+crates/bench/../../examples/hybrid_zones.rs:

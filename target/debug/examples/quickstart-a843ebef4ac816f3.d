@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a843ebef4ac816f3.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a843ebef4ac816f3: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

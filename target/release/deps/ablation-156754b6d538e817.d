@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-156754b6d538e817.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-156754b6d538e817: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

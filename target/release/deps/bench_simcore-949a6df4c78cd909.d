@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_simcore-949a6df4c78cd909.d: crates/bench/benches/bench_simcore.rs
+
+/root/repo/target/release/deps/bench_simcore-949a6df4c78cd909: crates/bench/benches/bench_simcore.rs
+
+crates/bench/benches/bench_simcore.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/control-246c0a23d1ee7c08.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+/root/repo/target/release/deps/libcontrol-246c0a23d1ee7c08.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+/root/repo/target/release/deps/libcontrol-246c0a23d1ee7c08.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-0eff0a0c7ae4479d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-0eff0a0c7ae4479d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

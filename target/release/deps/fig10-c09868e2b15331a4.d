@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-c09868e2b15331a4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-c09868e2b15331a4: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-e376600380861615.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-e376600380861615: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

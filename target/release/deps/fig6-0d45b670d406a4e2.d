@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0d45b670d406a4e2.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0d45b670d406a4e2: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

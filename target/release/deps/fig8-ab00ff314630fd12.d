@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ab00ff314630fd12.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ab00ff314630fd12: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

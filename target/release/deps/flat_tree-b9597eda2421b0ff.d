@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/flat_tree-b9597eda2421b0ff.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+/root/repo/target/release/deps/libflat_tree-b9597eda2421b0ff.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+/root/repo/target/release/deps/libflat_tree-b9597eda2421b0ff.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/converter.rs crates/core/src/interpod.rs crates/core/src/layout.rs crates/core/src/modes.rs crates/core/src/multistage.rs crates/core/src/profile.rs crates/core/src/wiring.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/converter.rs:
+crates/core/src/interpod.rs:
+crates/core/src/layout.rs:
+crates/core/src/modes.rs:
+crates/core/src/multistage.rs:
+crates/core/src/profile.rs:
+crates/core/src/wiring.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flowsim-eefcea3e02bc71a2.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/release/deps/libflowsim-eefcea3e02bc71a2.rlib: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/release/deps/libflowsim-eefcea3e02bc71a2.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+crates/flowsim/src/lib.rs:
+crates/flowsim/src/alloc.rs:
+crates/flowsim/src/failures.rs:
+crates/flowsim/src/provider.rs:
+crates/flowsim/src/reference.rs:
+crates/flowsim/src/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hybrid-43a280900f2e6bea.d: crates/bench/src/bin/hybrid.rs
+
+/root/repo/target/release/deps/hybrid-43a280900f2e6bea: crates/bench/src/bin/hybrid.rs
+
+crates/bench/src/bin/hybrid.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mcf-d9b4542c76c9cb44.d: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+/root/repo/target/release/deps/libmcf-d9b4542c76c9cb44.rlib: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+/root/repo/target/release/deps/libmcf-d9b4542c76c9cb44.rmeta: crates/mcf/src/lib.rs crates/mcf/src/concurrent.rs crates/mcf/src/greedy.rs crates/mcf/src/maxmin.rs crates/mcf/src/workspace.rs
+
+crates/mcf/src/lib.rs:
+crates/mcf/src/concurrent.rs:
+crates/mcf/src/greedy.rs:
+crates/mcf/src/maxmin.rs:
+crates/mcf/src/workspace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/netgraph-55eaca0f1bc42714.d: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+/root/repo/target/release/deps/libnetgraph-55eaca0f1bc42714.rlib: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+/root/repo/target/release/deps/libnetgraph-55eaca0f1bc42714.rmeta: crates/netgraph/src/lib.rs crates/netgraph/src/arena.rs crates/netgraph/src/dijkstra.rs crates/netgraph/src/dot.rs crates/netgraph/src/ecmp.rs crates/netgraph/src/graph.rs crates/netgraph/src/metrics.rs crates/netgraph/src/path.rs crates/netgraph/src/yen.rs
+
+crates/netgraph/src/lib.rs:
+crates/netgraph/src/arena.rs:
+crates/netgraph/src/dijkstra.rs:
+crates/netgraph/src/dot.rs:
+crates/netgraph/src/ecmp.rs:
+crates/netgraph/src/graph.rs:
+crates/netgraph/src/metrics.rs:
+crates/netgraph/src/path.rs:
+crates/netgraph/src/yen.rs:

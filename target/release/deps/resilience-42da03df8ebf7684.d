@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-42da03df8ebf7684.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/release/deps/resilience-42da03df8ebf7684: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/routing-ec225712bae7b66e.d: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+/root/repo/target/release/deps/librouting-ec225712bae7b66e.rlib: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+/root/repo/target/release/deps/librouting-ec225712bae7b66e.rmeta: crates/routing/src/lib.rs crates/routing/src/addressing.rs crates/routing/src/ksp.rs crates/routing/src/rules.rs crates/routing/src/segment.rs crates/routing/src/source_routing.rs crates/routing/src/two_level.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/addressing.rs:
+crates/routing/src/ksp.rs:
+crates/routing/src/rules.rs:
+crates/routing/src/segment.rs:
+crates/routing/src/source_routing.rs:
+crates/routing/src/two_level.rs:

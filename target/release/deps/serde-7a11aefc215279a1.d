@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-7a11aefc215279a1.d: vendor/serde/src/lib.rs vendor/serde/src/json.rs
+
+/root/repo/target/release/deps/libserde-7a11aefc215279a1.rlib: vendor/serde/src/lib.rs vendor/serde/src/json.rs
+
+/root/repo/target/release/deps/libserde-7a11aefc215279a1.rmeta: vendor/serde/src/lib.rs vendor/serde/src/json.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/json.rs:

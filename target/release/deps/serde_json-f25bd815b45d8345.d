@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-f25bd815b45d8345.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f25bd815b45d8345.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f25bd815b45d8345.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

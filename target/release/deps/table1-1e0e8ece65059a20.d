@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1e0e8ece65059a20.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1e0e8ece65059a20: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-43234e04ffc5bac7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-43234e04ffc5bac7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topo-48276513dac87de6.d: crates/bench/src/bin/topo.rs
+
+/root/repo/target/release/deps/topo-48276513dac87de6: crates/bench/src/bin/topo.rs
+
+crates/bench/src/bin/topo.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/topology-10a47c1729320a1d.d: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+/root/repo/target/release/deps/libtopology-10a47c1729320a1d.rlib: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+/root/repo/target/release/deps/libtopology-10a47c1729320a1d.rmeta: crates/topology/src/lib.rs crates/topology/src/clos.rs crates/topology/src/network.rs crates/topology/src/random_graph.rs crates/topology/src/two_stage.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/clos.rs:
+crates/topology/src/network.rs:
+crates/topology/src/random_graph.rs:
+crates/topology/src/two_stage.rs:

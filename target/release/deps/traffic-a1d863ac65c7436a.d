@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/traffic-a1d863ac65c7436a.d: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+/root/repo/target/release/deps/libtraffic-a1d863ac65c7436a.rlib: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+/root/repo/target/release/deps/libtraffic-a1d863ac65c7436a.rmeta: crates/traffic/src/lib.rs crates/traffic/src/apps.rs crates/traffic/src/patterns.rs crates/traffic/src/traces.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/apps.rs:
+crates/traffic/src/patterns.rs:
+crates/traffic/src/traces.rs:

@@ -19,7 +19,10 @@ fn conversion_cycle_is_reversible_and_consistent() {
     let to_clos = ctl.convert(&ModeAssignment::uniform(pods, PodMode::Clos));
 
     // Cycling back to a mode costs the same crosspoints both ways.
-    assert_eq!(to_local.crosspoints_changed, back_to_global.crosspoints_changed);
+    assert_eq!(
+        to_local.crosspoints_changed,
+        back_to_global.crosspoints_changed
+    );
     // Rule churn is symmetric between a mode pair.
     assert_eq!(to_local.rules_deleted, back_to_global.rules_added);
     assert_eq!(to_local.rules_added, back_to_global.rules_deleted);

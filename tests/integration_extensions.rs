@@ -5,7 +5,10 @@ use ft_bench::experiments::{ablation, hybrid, resilience};
 use ft_bench::Scale;
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment pipeline; run with --release"
+)]
 fn resilience_global_keeps_absolute_lead_under_failures() {
     let points = resilience::run(Scale::default());
     for frac in resilience::FRACTIONS {
@@ -34,7 +37,10 @@ fn resilience_global_keeps_absolute_lead_under_failures() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment pipeline; run with --release"
+)]
 fn hybrid_gives_each_tenant_its_best_mode() {
     let rows = hybrid::run(Scale::default());
     let get = |label: &str| rows.iter().find(|r| r.assignment == label).unwrap();
@@ -50,7 +56,10 @@ fn hybrid_gives_each_tenant_its_best_mode() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment pipeline; run with --release"
+)]
 fn ablation_pattern1_wins_path_length_and_profiling_is_sane() {
     let cands = ablation::run(Scale::default());
     let wiring: Vec<_> = cands.iter().filter(|c| c.knob == "wiring").collect();

@@ -6,7 +6,10 @@ use ft_bench::experiments::{fig6, fig7};
 use ft_bench::Scale;
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment pipeline; run with --release"
+)]
 fn fig6_lp_bounds_and_mptcp_ordering() {
     let cells = fig6::run(Scale::default());
     assert_eq!(cells.len(), 16); // 4 panels x 4 traffics
@@ -29,7 +32,10 @@ fn fig6_lp_bounds_and_mptcp_ordering() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment pipeline; run with --release"
+)]
 fn fig7_mptcp_balances_load_and_utilization() {
     let boxes = fig7::run(Scale::default());
     for traffic in ["traffic-1", "traffic-2", "traffic-3", "traffic-4"] {

@@ -24,12 +24,7 @@ fn build_route_simulate_mini_topo1() {
             p.validate(&inst.net.graph).unwrap();
         }
         // Simulate a small trace to completion.
-        let mut tp = TraceParams::web(
-            inst.net.num_servers(),
-            16,
-            64,
-            5,
-        );
+        let mut tp = TraceParams::web(inst.net.num_servers(), 16, 64, 5);
         tp.duration_s = 0.05;
         let trace = tp.generate();
         let flows: Vec<flowsim::FlowSpec> = trace
@@ -59,7 +54,10 @@ fn build_route_simulate_mini_topo1() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "full experiment pipeline; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full experiment pipeline; run with --release"
+)]
 fn table1_reproduces_the_crossover() {
     let rows = ft_bench::experiments::table1::run(Scale::default());
     assert_eq!(rows.len(), 3);

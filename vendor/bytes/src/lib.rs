@@ -1,0 +1,134 @@
+//! Vendored `bytes` facade: the `Buf` / `BufMut` / `BytesMut` subset the
+//! routing crate uses for header encoding (big-endian, advancing
+//! reads/writes over slices, append-only growable buffer).
+
+/// Sequential big-endian reader.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian u32 and advances.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Sequential big-endian writer.
+pub trait BufMut {
+    /// Writes one byte and advances.
+    fn put_u8(&mut self, v: u8);
+
+    /// Writes a big-endian u32 and advances.
+    fn put_u32(&mut self, v: u32);
+}
+
+impl BufMut for &mut [u8] {
+    fn put_u8(&mut self, v: u8) {
+        let slice = std::mem::take(self);
+        let (head, rest) = slice.split_at_mut(1);
+        head[0] = v;
+        *self = rest;
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        let slice = std::mem::take(self);
+        let (head, rest) = slice.split_at_mut(4);
+        head.copy_from_slice(&v.to_be_bytes());
+        *self = rest;
+    }
+}
+
+/// Growable append-only byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_roundtrip_advances() {
+        let mut storage = [0u8; 6];
+        let mut w = &mut storage[..];
+        w.put_u8(0xab);
+        w.put_u32(0x01020304);
+        assert_eq!(w.len(), 1);
+        let mut r = &storage[..];
+        assert_eq!(r.remaining(), 6);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u32(), 0x01020304);
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn bytes_mut_appends_big_endian() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32(0xdeadbeef);
+        assert_eq!(&b[..], &[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(b.len(), 4);
+    }
+}

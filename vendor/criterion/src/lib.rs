@@ -1,0 +1,251 @@
+//! Vendored micro-benchmark harness exposing the `criterion` API subset
+//! this workspace uses: `Criterion::bench_function`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Invoked via `cargo bench` (cargo passes `--bench`) it warms up, runs
+//! timed samples, and prints mean/min ns per iteration. Invoked via
+//! `cargo test` (no `--bench` flag) each routine runs once as a smoke
+//! test, so `harness = false` bench targets stay cheap under the test
+//! suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility, batching always regenerates input per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark registry / driver.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench`; its absence means
+        // the binary is running under `cargo test`.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self {
+            sample_size: DEFAULT_SAMPLES,
+            bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            wanted: self.samples_wanted(),
+            samples: Vec::new(),
+        };
+        if self.bench_mode {
+            println!("benchmarking {name}");
+        }
+        f(&mut b);
+        if self.bench_mode {
+            b.report(name);
+        } else {
+            println!("{name}: ok (smoke run, use `cargo bench` to measure)");
+        }
+        self
+    }
+
+    fn samples_wanted(&self) -> usize {
+        self.sample_size
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    bench_mode: bool,
+    wanted: usize,
+    samples: Vec<f64>, // ns per iteration, one entry per sample
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = calibrate(|n| {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            t.elapsed()
+        });
+        for _ in 0..self.wanted {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.bench_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let iters = calibrate(|n| {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            t.elapsed()
+        });
+        for _ in 0..self.wanted {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let median = s[s.len() / 2];
+        println!(
+            "{name}: mean {} /iter, median {} /iter, min {} /iter ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(s[0]),
+            s.len()
+        );
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 12;
+const TARGET_SAMPLE: Duration = Duration::from_millis(100);
+
+/// Picks an iteration count so one sample takes roughly
+/// [`TARGET_SAMPLE`], by doubling until the probe run is long enough.
+fn calibrate<F>(mut probe: F) -> u64
+where
+    F: FnMut(u64) -> Duration,
+{
+    let mut iters = 1u64;
+    loop {
+        let took = probe(iters);
+        if took >= TARGET_SAMPLE || iters >= 1 << 20 {
+            return iters.max(1);
+        }
+        if took < TARGET_SAMPLE / 16 {
+            iters = iters.saturating_mul(8);
+        } else {
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function; both criterion forms are
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(benches, smoke);
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(10);
+        targets = smoke
+    }
+
+    #[test]
+    fn groups_run_in_test_mode() {
+        benches();
+        configured();
+    }
+}

@@ -1,0 +1,304 @@
+//! Value-generation strategies. A [`Strategy`] produces one value per
+//! call from the test's deterministic RNG (no shrinking — failures
+//! reproduce exactly because generation is seeded by test name).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Generates values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Maps values through `f`, retrying generation whenever `f`
+    /// returns `None`. `whence` labels the filter in give-up panics.
+    fn prop_filter_map<T, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> Option<T>,
+    {
+        FilterMap {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Keeps only values for which `f` returns true, retrying otherwise.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> Option<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.source.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map({:?}): no accepted value in 10000 draws",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}): no accepted value in 10000 draws",
+            self.whence
+        );
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: std::fmt::Debug,
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: std::fmt::Debug,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Uniform boolean (`prop::bool::ANY`).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Types with a full-domain uniform strategy via [`any`].
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws one value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain; see [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T` (`any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice among fixed options (`prop::sample::select`).
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Element-count specification for collection strategies: a range or an
+/// exact size.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+/// `Vec` of values from an element strategy; see `prop::collection::vec`.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);

@@ -1,0 +1,45 @@
+//! Deterministic case runner support: config, per-test RNG, and the
+//! error type `prop_assert!` / `prop_assume!` produce.
+
+/// RNG driving case generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — the whole test fails.
+    Fail(String),
+    /// `prop_assume!` miss — the case is skipped, not counted.
+    Reject(&'static str),
+}
+
+/// Deterministic RNG for a test, seeded from an FNV-1a hash of its name
+/// so every test draws an independent but reproducible stream.
+pub fn rng_for(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}

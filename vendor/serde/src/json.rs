@@ -1,0 +1,513 @@
+//! The JSON engine behind the vendored serde facade: a comma/indent
+//! tracking writer and a recursive-descent parser.
+
+use std::fmt;
+
+/// JSON serialization writer with optional pretty-printing.
+///
+/// The writer tracks nesting and "first element" state so generated code
+/// only calls [`key`](Self::key) / [`sep`](Self::sep) before values and
+/// never worries about commas or indentation.
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    /// One flag per open container: has it emitted an element yet?
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates a writer; `pretty` enables 2-space indentation.
+    pub fn new(pretty: bool) -> Self {
+        Self {
+            out: String::new(),
+            pretty,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Finishes and returns the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn element_prefix(&mut self) {
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+            self.newline_indent();
+        }
+    }
+
+    /// Starts an object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Ends an object.
+    pub fn end_object(&mut self) {
+        let had = self.stack.pop().unwrap_or(false);
+        if had {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Starts an array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Ends an array.
+    pub fn end_array(&mut self) {
+        let had = self.stack.pop().unwrap_or(false);
+        if had {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Emits the separator before an array element.
+    pub fn sep(&mut self) {
+        self.element_prefix();
+    }
+
+    /// Emits an object key (with its leading separator).
+    pub fn key(&mut self, name: &str) {
+        self.element_prefix();
+        self.string(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Emits a JSON string with escaping.
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Emits pre-rendered JSON (numbers, booleans, null).
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset where the error was detected (0 when unknown).
+    pub offset: usize,
+}
+
+impl JsonError {
+    /// An error with no position information.
+    pub fn message(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            offset: 0,
+        }
+    }
+
+    /// "missing field" error used by derived impls.
+    pub fn missing_field(name: &str) -> Self {
+        Self::message(format!("missing field `{name}`"))
+    }
+
+    /// "unknown variant" error used by derived impls.
+    pub fn unknown_variant(name: &str) -> Self {
+        Self::message(format!("unknown variant `{name}`"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// States for the container the parser is currently inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ctx {
+    /// Inside an object; `true` once a key/value pair has been consumed.
+    Object(bool),
+    /// Inside an array; `true` once an element has been consumed.
+    Array(bool),
+}
+
+/// Recursive-descent JSON parser over a string slice.
+///
+/// Derived impls drive it with `expect_object_start` / `next_key` /
+/// `expect_array_start` / `next_element` and the scalar `parse_*` methods.
+pub struct JsonParser {
+    bytes: Vec<u8>,
+    pos: usize,
+    key: String,
+    stack: Vec<Ctx>,
+}
+
+impl JsonParser {
+    /// Creates a parser over `input`.
+    pub fn new(input: &str) -> Self {
+        Self {
+            bytes: input.as_bytes().to_vec(),
+            pos: 0,
+            key: String::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    /// True if the next value is a string (drives enum parsing).
+    pub fn peek_is_string(&mut self) -> bool {
+        self.peek() == Some(b'"')
+    }
+
+    /// Errors unless the whole input has been consumed.
+    pub fn expect_eof(&mut self) -> Result<(), JsonError> {
+        if self.peek().is_some() {
+            Err(self.err("trailing data"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes `{`.
+    pub fn expect_object_start(&mut self) -> Result<(), JsonError> {
+        self.eat(b'{')?;
+        self.stack.push(Ctx::Object(false));
+        Ok(())
+    }
+
+    /// Advances to the next key inside the current object. Returns `false`
+    /// (and consumes `}`) at the end; otherwise the key is available via
+    /// [`key`](Self::key) and the parser sits before the value.
+    pub fn next_key(&mut self) -> Result<bool, JsonError> {
+        let seen = match self.stack.last() {
+            Some(&Ctx::Object(seen)) => seen,
+            _ => return Err(self.err("not inside an object")),
+        };
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.stack.pop();
+            return Ok(false);
+        }
+        if seen {
+            self.eat(b',')?;
+        }
+        let k = self.parse_string()?;
+        self.eat(b':')?;
+        self.key = k;
+        if let Some(top @ Ctx::Object(false)) = self.stack.last_mut() {
+            *top = Ctx::Object(true);
+        }
+        Ok(true)
+    }
+
+    /// The most recent key read by [`next_key`](Self::next_key).
+    pub fn key(&self) -> &String {
+        &self.key
+    }
+
+    /// Consumes `[`.
+    pub fn expect_array_start(&mut self) -> Result<(), JsonError> {
+        self.eat(b'[')?;
+        self.stack.push(Ctx::Array(false));
+        Ok(())
+    }
+
+    /// Advances to the next element of the current array. Returns `false`
+    /// (and consumes `]`) at the end.
+    pub fn next_element(&mut self) -> Result<bool, JsonError> {
+        let seen = match self.stack.last() {
+            Some(&Ctx::Array(seen)) => seen,
+            _ => return Err(self.err("not inside an array")),
+        };
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.stack.pop();
+            return Ok(false);
+        }
+        if seen {
+            self.eat(b',')?;
+        }
+        if let Some(top @ Ctx::Array(false)) = self.stack.last_mut() {
+            *top = Ctx::Array(true);
+        }
+        Ok(true)
+    }
+
+    /// Like [`next_element`](Self::next_element) but errors on `]`:
+    /// used for fixed-arity payloads (tuples).
+    pub fn expect_element(&mut self) -> Result<(), JsonError> {
+        if self.next_element()? {
+            Ok(())
+        } else {
+            Err(self.err("array ended early"))
+        }
+    }
+
+    /// Consumes the closing `]` of a fixed-arity array.
+    pub fn expect_array_end(&mut self) -> Result<(), JsonError> {
+        if self.next_element()? {
+            Err(self.err("expected end of array"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Consumes `null` if present.
+    pub fn try_null(&mut self) -> Result<bool, JsonError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Parses `true` / `false`.
+    pub fn parse_bool(&mut self) -> Result<bool, JsonError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(self.err("expected boolean"))
+        }
+    }
+
+    /// Parses a number (also accepts `inf` / `-inf` / `NaN`, which the
+    /// writer may emit for non-finite floats).
+    pub fn parse_number(&mut self) -> Result<f64, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        if self.bytes[self.pos..].starts_with(b"inf") {
+            self.pos += 3;
+            let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            return Ok(s.parse().unwrap());
+        }
+        if self.bytes[self.pos..].starts_with(b"NaN") {
+            self.pos += 3;
+            return Ok(f64::NAN);
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf8 in number"))?;
+        s.parse::<f64>().map_err(|_| self.err("malformed number"))
+    }
+
+    /// Parses a JSON string with escape handling.
+    pub fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char at pos - 1.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    /// Skips one complete value of any type (unknown object fields).
+    pub fn skip_value(&mut self) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect_object_start()?;
+                while self.next_key()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'[') => {
+                self.expect_array_start()?;
+                while self.next_element()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b't') | Some(b'f') => {
+                self.parse_bool()?;
+                Ok(())
+            }
+            Some(b'n') => {
+                if self.try_null()? {
+                    Ok(())
+                } else {
+                    Err(self.err("expected null"))
+                }
+            }
+            Some(_) => {
+                self.parse_number()?;
+                Ok(())
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_handles_nesting_and_commas() {
+        let mut w = JsonWriter::new(false);
+        w.begin_object();
+        w.key("a");
+        w.raw("1");
+        w.key("b");
+        w.begin_array();
+        w.sep();
+        w.raw("2");
+        w.sep();
+        w.raw("3");
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.into_string(), r#"{"a":1,"b":[2,3]}"#);
+    }
+
+    #[test]
+    fn parser_walks_objects_in_any_order() {
+        let mut p = JsonParser::new(r#" { "y" : [1, 2] , "x" : "s" } "#);
+        p.expect_object_start().unwrap();
+        let mut seen = Vec::new();
+        while p.next_key().unwrap() {
+            seen.push(p.key().clone());
+            p.skip_value().unwrap();
+        }
+        p.expect_eof().unwrap();
+        assert_eq!(seen, vec!["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn skip_value_handles_all_types() {
+        let mut p = JsonParser::new(r#"[1, "a", null, true, {"k": [2]}, -1.5e3]"#);
+        p.skip_value().unwrap();
+        p.expect_eof().unwrap();
+    }
+}

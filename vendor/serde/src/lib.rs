@@ -1,0 +1,353 @@
+//! Vendored serde facade, JSON-backed.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of serde this workspace actually uses: `Serialize` /
+//! `Deserialize` traits (coupled directly to JSON — the only format the
+//! repo serializes to), the derive macros, and impls for the primitive
+//! and container types that appear in derived structs.
+//!
+//! The sibling `serde_json` crate wraps [`json`] with the familiar
+//! `to_string` / `to_string_pretty` / `from_str` entry points.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{JsonError, JsonParser, JsonWriter};
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends `self` to the writer.
+    fn serialize(&self, w: &mut JsonWriter);
+}
+
+/// A type that can parse itself from JSON.
+pub trait Deserialize: Sized {
+    /// Parses one value from the parser.
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.raw(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+                let n = p.parse_number()?;
+                if n.fract() == 0.0 && n >= <$t>::MIN as f64 && n <= <$t>::MAX as f64 {
+                    Ok(n as $t)
+                } else {
+                    Err(JsonError::message(concat!("number out of range for ", stringify!($t))))
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        // `{:?}` is Rust's shortest-roundtrip float formatting.
+        w.raw(&format!("{self:?}"));
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        p.parse_number()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.raw(&format!("{self:?}"));
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        Ok(p.parse_number()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize(w),
+            None => w.raw("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        if p.try_null()? {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(p)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.sep();
+            v.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        p.expect_array_start()?;
+        let mut out = Vec::new();
+        while p.next_element()? {
+            out.push(T::deserialize(p)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        let v = Vec::<T>::deserialize(p)?;
+        <[T; N]>::try_from(v).map_err(|_| JsonError::message("array length mismatch"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.begin_array();
+                $( w.sep(); self.$n.serialize(w); )+
+                w.end_array();
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+                p.expect_array_start()?;
+                let out = ( $( { p.expect_element()?; $t::deserialize(p)? }, )+ );
+                p.expect_array_end()?;
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        // Maps serialize as arrays of [key, value] pairs so non-string
+        // keys stay lossless. Sorted by serialized key for determinism.
+        let mut entries: Vec<(String, &V)> = self
+            .iter()
+            .map(|(k, v)| {
+                let mut kw = JsonWriter::new(false);
+                k.serialize(&mut kw);
+                (kw.into_string(), v)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        w.begin_array();
+        for (k, v) in entries {
+            w.sep();
+            w.begin_array();
+            w.sep();
+            w.raw(&k);
+            w.sep();
+            v.serialize(w);
+            w.end_array();
+        }
+        w.end_array();
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        let pairs = Vec::<(K, V)>::deserialize(p)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        // Arrays of [key, value] pairs, in the map's own (sorted) order.
+        w.begin_array();
+        for (k, v) in self {
+            w.sep();
+            w.begin_array();
+            w.sep();
+            k.serialize(w);
+            w.sep();
+            v.serialize(w);
+            w.end_array();
+        }
+        w.end_array();
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        let pairs = Vec::<(K, V)>::deserialize(p)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.sep();
+            v.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        let items = Vec::<T>::deserialize(p)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + std::hash::Hash + Eq> Serialize for std::collections::HashSet<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        // Sorted by serialized form for deterministic output.
+        let mut items: Vec<String> = self
+            .iter()
+            .map(|v| {
+                let mut vw = JsonWriter::new(false);
+                v.serialize(&mut vw);
+                vw.into_string()
+            })
+            .collect();
+        items.sort();
+        w.begin_array();
+        for v in items {
+            w.sep();
+            w.raw(&v);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn deserialize(p: &mut JsonParser) -> Result<Self, JsonError> {
+        let items = Vec::<T>::deserialize(p)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut w = JsonWriter::new(false);
+        v.serialize(&mut w);
+        w.into_string()
+    }
+
+    fn from_json<T: Deserialize>(s: &str) -> T {
+        let mut p = JsonParser::new(s);
+        let v = T::deserialize(&mut p).expect("parse");
+        p.expect_eof().expect("trailing data");
+        v
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(from_json::<u32>("42"), 42);
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(from_json::<f64>("1.5e3"), 1500.0);
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&"a\"b".to_string()), "\"a\\\"b\"");
+        assert_eq!(from_json::<String>("\"a\\\"b\""), "a\"b");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.0)];
+        let s = to_json(&v);
+        assert_eq!(from_json::<Vec<(u32, f64)>>(&s), v);
+        assert_eq!(to_json(&Option::<u32>::None), "null");
+        assert_eq!(from_json::<Option<u32>>("null"), None);
+        assert_eq!(from_json::<Option<u32>>("7"), Some(7));
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(from_json::<[f64; 3]>(&to_json(&a)), a);
+    }
+}

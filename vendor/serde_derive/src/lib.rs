@@ -1,0 +1,439 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde facade.
+//!
+//! The build environment has no access to crates.io, so this proc macro is
+//! written against `proc_macro` alone (no syn/quote). It supports exactly
+//! the shapes this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (a 1-field tuple struct serializes as its inner value,
+//!   matching serde's newtype convention; wider ones as arrays),
+//! * enums with unit variants (serialized as a bare string), tuple
+//!   variants (`{"Variant": value-or-array}`) and struct variants
+//!   (`{"Variant": {..fields..}}`) — serde's externally-tagged default.
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally
+//! unsupported and produce a compile error if encountered.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<(String, String)>,
+    },
+    TupleStruct {
+        name: String,
+        types: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<(String, String)>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skips leading attributes (`#[...]`, including doc comments) and
+/// visibility modifiers at position `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Collects a type as a string starting at `i`, stopping at a top-level
+/// comma (angle-bracket depth tracked). Returns (type string, next index).
+fn collect_type(tokens: &[TokenTree], mut i: usize) -> (String, usize) {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(t) = tokens.get(i) {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    break;
+                }
+                if c == '<' {
+                    depth += 1;
+                }
+                if c == '>' {
+                    depth -= 1;
+                }
+                out.push(c);
+            }
+            other => {
+                out.push_str(&other.to_string());
+                out.push(' ');
+            }
+        }
+        i += 1;
+    }
+    (out, i)
+}
+
+/// Parses `name: Type` fields inside a brace group.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs_and_vis(group, i);
+        let Some(TokenTree::Ident(name)) = group.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        match group.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        let (ty, next) = collect_type(group, i);
+        fields.push((name, ty));
+        i = next + 1; // skip the comma
+    }
+    fields
+}
+
+/// Parses the comma-separated types of a tuple struct/variant.
+fn parse_tuple_types(group: &[TokenTree]) -> Vec<String> {
+    let mut types = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs_and_vis(group, i);
+        if i >= group.len() {
+            break;
+        }
+        let (ty, next) = collect_type(group, i);
+        if !ty.trim().is_empty() {
+            types.push(ty);
+        }
+        i = next + 1;
+    }
+    types
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs_and_vis(group, i);
+        let Some(TokenTree::Ident(name)) = group.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(parse_tuple_types(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while let Some(t) = group.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1; // the comma
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct {
+                    name,
+                    types: parse_tuple_types(&inner),
+                }
+            }
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Enum {
+                    name,
+                    variants: parse_variants(&inner),
+                }
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::from("w.begin_object();\n");
+            for (f, _) in fields {
+                body.push_str(&format!(
+                    "w.key(\"{f}\");\n::serde::Serialize::serialize(&self.{f}, w);\n"
+                ));
+            }
+            body.push_str("w.end_object();");
+            impl_serialize(name, &body)
+        }
+        Shape::TupleStruct { name, types } => {
+            let body = if types.len() == 1 {
+                "::serde::Serialize::serialize(&self.0, w);".to_string()
+            } else {
+                let mut b = String::from("w.begin_array();\n");
+                for i in 0..types.len() {
+                    b.push_str(&format!(
+                        "w.sep();\n::serde::Serialize::serialize(&self.{i}, w);\n"
+                    ));
+                }
+                b.push_str("w.end_array();");
+                b
+            };
+            impl_serialize(name, &body)
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("{name}::{vn} => w.string(\"{vn}\"),\n"));
+                    }
+                    VariantKind::Tuple(types) => {
+                        let binds: Vec<String> =
+                            (0..types.len()).map(|i| format!("__v{i}")).collect();
+                        let pat = binds.join(", ");
+                        let mut b = String::from("{ w.begin_object();\n");
+                        b.push_str(&format!("w.key(\"{vn}\");\n"));
+                        if types.len() == 1 {
+                            b.push_str("::serde::Serialize::serialize(__v0, w);\n");
+                        } else {
+                            b.push_str("w.begin_array();\n");
+                            for bind in &binds {
+                                b.push_str(&format!(
+                                    "w.sep();\n::serde::Serialize::serialize({bind}, w);\n"
+                                ));
+                            }
+                            b.push_str("w.end_array();\n");
+                        }
+                        b.push_str("w.end_object(); }\n");
+                        arms.push_str(&format!("{name}::{vn}({pat}) => {b},\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|(f, _)| f.clone()).collect();
+                        let pat = pat.join(", ");
+                        let mut b = String::from("{ w.begin_object();\n");
+                        b.push_str(&format!("w.key(\"{vn}\");\nw.begin_object();\n"));
+                        for (f, _) in fields {
+                            b.push_str(&format!(
+                                "w.key(\"{f}\");\n::serde::Serialize::serialize({f}, w);\n"
+                            ));
+                        }
+                        b.push_str("w.end_object();\nw.end_object(); }\n");
+                        arms.push_str(&format!("{name}::{vn} {{ {pat} }} => {b},\n"));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    src.parse().expect("serde_derive: generated invalid Rust")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self, w: &mut ::serde::json::JsonWriter) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize(p: &mut ::serde::json::JsonParser) \
+             -> ::std::result::Result<Self, ::serde::json::JsonError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Generates the body that parses `{ "field": value, ... }` into local
+/// `Option` slots and builds `ctor` at the end. `path` names the fields
+/// for error messages.
+fn named_fields_parser(ctor: &str, fields: &[(String, String)]) -> String {
+    let mut b = String::from("p.expect_object_start()?;\n");
+    for (i, (_, ty)) in fields.iter().enumerate() {
+        b.push_str(&format!(
+            "let mut __f{i}: ::std::option::Option<{ty}> = ::std::option::Option::None;\n"
+        ));
+    }
+    b.push_str("while p.next_key()? {\nmatch p.key().as_str() {\n");
+    for (i, (f, ty)) in fields.iter().enumerate() {
+        b.push_str(&format!(
+            "\"{f}\" => {{ __f{i} = ::std::option::Option::Some(\
+             <{ty} as ::serde::Deserialize>::deserialize(p)?); }}\n"
+        ));
+    }
+    b.push_str("_ => { p.skip_value()?; }\n}\n}\n");
+    let mut args = String::new();
+    for (i, (f, _)) in fields.iter().enumerate() {
+        args.push_str(&format!(
+            "{f}: __f{i}.ok_or_else(|| ::serde::json::JsonError::missing_field(\"{f}\"))?,\n"
+        ));
+    }
+    b.push_str(&format!("::std::result::Result::Ok({ctor} {{\n{args}}})\n"));
+    b
+}
+
+/// Generates the body that parses a value-or-array tuple payload into
+/// `ctor(v0, v1, ...)`.
+fn tuple_parser(ctor: &str, types: &[String]) -> String {
+    if types.len() == 1 {
+        let ty = &types[0];
+        return format!(
+            "::std::result::Result::Ok({ctor}(<{ty} as ::serde::Deserialize>::deserialize(p)?))"
+        );
+    }
+    let mut b = String::from("p.expect_array_start()?;\n");
+    let mut args = String::new();
+    for (i, ty) in types.iter().enumerate() {
+        b.push_str(&format!(
+            "p.expect_element()?;\n\
+             let __v{i} = <{ty} as ::serde::Deserialize>::deserialize(p)?;\n"
+        ));
+        args.push_str(&format!("__v{i}, "));
+    }
+    b.push_str("p.expect_array_end()?;\n");
+    b.push_str(&format!("::std::result::Result::Ok({ctor}({args}))"));
+    b
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            impl_deserialize(name, &named_fields_parser(name, fields))
+        }
+        Shape::TupleStruct { name, types } => impl_deserialize(name, &tuple_parser(name, types)),
+        Shape::Enum { name, variants } => {
+            // A bare string is a unit variant; an object holds one key naming
+            // a tuple/struct variant.
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also accept `{"Variant": null}`-less object form? No:
+                        // unit variants only appear as strings.
+                    }
+                    VariantKind::Tuple(types) => {
+                        let parse = tuple_parser(&format!("{name}::{vn}"), types);
+                        keyed_arms
+                            .push_str(&format!("\"{vn}\" => {{ let __r = {{ {parse} }}; __r }}\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let parse = named_fields_parser(&format!("{name}::{vn}"), fields);
+                        keyed_arms
+                            .push_str(&format!("\"{vn}\" => {{ let __r = {{ {parse} }}; __r }}\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "if p.peek_is_string() {{\n\
+                   let s = p.parse_string()?;\n\
+                   match s.as_str() {{\n{unit_arms}\
+                     other => ::std::result::Result::Err(\
+                       ::serde::json::JsonError::unknown_variant(other)),\n\
+                   }}\n\
+                 }} else {{\n\
+                   p.expect_object_start()?;\n\
+                   if !p.next_key()? {{\n\
+                     return ::std::result::Result::Err(\
+                       ::serde::json::JsonError::message(\"empty enum object\"));\n\
+                   }}\n\
+                   let __variant = p.key().clone();\n\
+                   let __out = match __variant.as_str() {{\n{keyed_arms}\
+                     other => ::std::result::Result::Err(\
+                       ::serde::json::JsonError::unknown_variant(other)),\n\
+                   }}?;\n\
+                   if p.next_key()? {{\n\
+                     return ::std::result::Result::Err(\
+                       ::serde::json::JsonError::message(\"multiple keys in enum object\"));\n\
+                   }}\n\
+                   ::std::result::Result::Ok(__out)\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    };
+    src.parse().expect("serde_derive: generated invalid Rust")
+}

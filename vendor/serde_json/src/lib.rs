@@ -1,0 +1,50 @@
+//! Vendored `serde_json` facade: the three entry points this workspace
+//! uses, built on the vendored serde crate's JSON engine.
+
+pub use serde::json::JsonError as Error;
+use serde::json::{JsonParser, JsonWriter};
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(false);
+    value.serialize(&mut w);
+    Ok(w.into_string())
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(true);
+    value.serialize(&mut w);
+    Ok(w.into_string())
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = JsonParser::new(s);
+    let v = T::deserialize(&mut p)?;
+    p.expect_eof()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_facade() {
+        let v = vec![Some(1.5f64), None, Some(-2.0)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1.5,null,-2.0]");
+        let back: Vec<Option<f64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = (1u32, "two".to_string(), vec![3.0f64]);
+        let s = to_string_pretty(&v).unwrap();
+        let back: (u32, String, Vec<f64>) = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
