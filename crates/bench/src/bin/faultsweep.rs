@@ -1,0 +1,24 @@
+//! Extension experiment: fault sweep. See EXPERIMENTS.md.
+//!
+//! Exits non-zero if the simulation's invariant auditor reports any
+//! violation, so CI catches engine regressions under faults.
+
+use ft_bench::experiments::faultsweep;
+use ft_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out = faultsweep::run(scale);
+    faultsweep::print(&out);
+    if scale.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+    }
+    let violations = faultsweep::total_violations(&out);
+    if violations > 0 {
+        eprintln!("fault sweep: {violations} invariant violations");
+        std::process::exit(1);
+    }
+}

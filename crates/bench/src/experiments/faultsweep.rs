@@ -1,0 +1,477 @@
+//! Fault sweep — graceful degradation and conversion under failure
+//! (extension; see EXPERIMENTS.md).
+//!
+//! Three questions the paper leaves open, answered on the fault plane:
+//!
+//! 1. **Data-plane degradation**: flap a growing fraction of cables
+//!    (fail *and* recover, [`flowsim::faults::FaultPlan`]) during a
+//!    permutation workload in each operation mode — Clos, Local, Global,
+//!    Hybrid — and measure completion, flow-completion-time stretch, and
+//!    mean goodput against the fault-free run. Every cell runs the
+//!    invariant auditor; a violation fails the binary.
+//! 2. **Stuck converters** (§3.6 failure mode): latch converter switches
+//!    in their Clos configuration while the rest of the network runs
+//!    global mode, via `flat_tree`'s `instantiate_with_overrides`, and
+//!    measure the throughput cost.
+//! 3. **Conversion under control-plane failure**: run the §5.3
+//!    clos → global conversion on the testbed controller through the
+//!    staged retry/rollback machine ([`control::resilient`]) across
+//!    escalating fault levels, reporting outcome, retries, and the
+//!    wall-clock inflation over the fault-free Table 3 arithmetic.
+//!
+//! All randomness is seeded: the same `--seed` reproduces the identical
+//! fault schedules, simulations, and tables.
+
+use super::common;
+use crate::report::{f3, print_table};
+use crate::sweep::sweep;
+use crate::Scale;
+use control::resilient::RetryPolicy;
+use flat_tree::{ConverterConfig, FlatTree, ModeAssignment, PodMode};
+use flowsim::faults::{ControlFaults, FaultPlan, StuckConfig};
+use flowsim::{FailedLinks, SimConfig, Transport};
+use netgraph::{dijkstra, Graph, LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+use testbed::TestbedRig;
+
+/// Cable-flap fractions swept (full grid).
+pub const FRACTIONS: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+/// Cable-flap fractions in `--smoke` mode.
+pub const SMOKE_FRACTIONS: [f64; 2] = [0.0, 0.10];
+
+/// One (mode, fault fraction) degradation measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationPoint {
+    /// Operation mode label.
+    pub mode: String,
+    /// Fraction of switch-switch cables that flap during the run.
+    pub fault_fraction: f64,
+    /// Fraction of flows that completed.
+    pub completed: f64,
+    /// Mean FCT over completed flows, normalized to the same mode's
+    /// fault-free mean (1.0 = no stretch).
+    pub fct_stretch: f64,
+    /// Mean per-flow goodput (Gbps) over completed flows.
+    pub mean_gbps: f64,
+    /// Connections parked (lost every path) during the run.
+    pub parked: usize,
+    /// Parked connections revived by recovery events.
+    pub revived: usize,
+    /// Invariant-auditor violations (must be zero).
+    pub audit_violations: usize,
+    /// Minimum fraction of workload pairs connected after any fault
+    /// event (per-mode connectivity check).
+    pub min_connected: f64,
+}
+
+/// One stuck-converter measurement: global mode with converters latched
+/// in the Clos configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StuckPoint {
+    /// How many converters are stuck.
+    pub stuck: usize,
+    /// Mean per-flow goodput (Gbps).
+    pub mean_gbps: f64,
+    /// Normalized to the clean global-mode run.
+    pub normalized: f64,
+}
+
+/// One conversion-under-failure measurement on the testbed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConversionPoint {
+    /// Fault-level label.
+    pub level: String,
+    /// Terminal status of the staged conversion.
+    pub status: String,
+    /// Retries spent across all stages and shards.
+    pub retries: u32,
+    /// Wall-clock of the conversion (ms).
+    pub total_ms: f64,
+    /// The fault-free sequential total (Table 3 arithmetic, ms).
+    pub nominal_ms: f64,
+}
+
+/// The whole experiment's output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSweep {
+    /// Degradation grid: mode × fault fraction.
+    pub degradation: Vec<DegradationPoint>,
+    /// Stuck-converter rows (global mode, escalating stuck counts).
+    pub stuck: Vec<StuckPoint>,
+    /// Conversion-under-failure rows (testbed, escalating fault levels).
+    pub conversion: Vec<ConversionPoint>,
+}
+
+/// All duplex switch-switch cables (one direction per cable).
+fn cables(g: &Graph) -> Vec<LinkId> {
+    g.link_ids()
+        .filter(|&l| {
+            let info = g.link(l);
+            g.node(info.src).kind.is_switch()
+                && g.node(info.dst).kind.is_switch()
+                && info.reverse.map(|r| r.0 > l.0).unwrap_or(true)
+        })
+        .collect()
+}
+
+/// Replays the schedule through a [`FailedLinks`] set and, after every
+/// distinct event time, measures the fraction of workload pairs that
+/// still have a route; returns the minimum over the replay.
+fn min_connectivity(
+    g: &Graph,
+    schedule: &flowsim::FaultSchedule,
+    pairs: &[(NodeId, NodeId)],
+) -> f64 {
+    if schedule.is_empty() || pairs.is_empty() {
+        return 1.0;
+    }
+    let mut failed = FailedLinks::new(g.link_count());
+    let mut min_frac = 1.0f64;
+    let events = &schedule.events;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].time;
+        while i < events.len() && events[i].time == t {
+            if events[i].up {
+                failed.recover(events[i].link);
+            } else {
+                failed.fail(events[i].link);
+            }
+            i += 1;
+        }
+        let connected = pairs
+            .iter()
+            .filter(|&&(s, d)| {
+                dijkstra::shortest_path_by(g, s, d, |l| {
+                    if failed.is_down(l) {
+                        f64::INFINITY
+                    } else {
+                        1.0
+                    }
+                })
+                .is_some()
+            })
+            .count();
+        min_frac = min_frac.min(connected as f64 / pairs.len() as f64);
+    }
+    min_frac
+}
+
+/// The mode grid: the three uniform modes plus a half-global hybrid.
+fn mode_grid(ft: &FlatTree) -> Vec<(String, ModeAssignment)> {
+    let pods = ft.pods();
+    let hybrid: Vec<PodMode> = (0..pods)
+        .map(|p| {
+            if p < pods / 2 {
+                PodMode::Global
+            } else {
+                PodMode::Clos
+            }
+        })
+        .collect();
+    vec![
+        ("clos".into(), ModeAssignment::uniform(pods, PodMode::Clos)),
+        (
+            "local".into(),
+            ModeAssignment::uniform(pods, PodMode::Local),
+        ),
+        (
+            "global".into(),
+            ModeAssignment::uniform(pods, PodMode::Global),
+        ),
+        ("hybrid".into(), ModeAssignment::hybrid(hybrid)),
+    ]
+}
+
+/// The flat-tree under test: the 20-switch testbed in `--smoke`, the
+/// mini/full topo-1 otherwise.
+fn network(scale: Scale) -> FlatTree {
+    if scale.smoke {
+        FlatTree::new(testbed::testbed_params()).expect("testbed params are valid")
+    } else {
+        common::flat_tree_over(common::topo(1, scale.full))
+    }
+}
+
+/// Runs the full sweep.
+pub fn run(scale: Scale) -> FaultSweep {
+    let ft = network(scale);
+    let fractions: &[f64] = if scale.smoke {
+        &SMOKE_FRACTIONS
+    } else {
+        &FRACTIONS
+    };
+    let modes = mode_grid(&ft);
+    let instances: Vec<(String, flat_tree::FlatTreeInstance)> = modes
+        .iter()
+        .map(|(name, a)| (name.clone(), ft.instantiate(a)))
+        .collect();
+
+    // Flap window and flow size chosen so faults hit mid-transfer:
+    // flows need ~0.5 s+ under contention, flaps land inside (0, 0.4) s
+    // and heal within ~0.6 s.
+    let bytes = 2.5e8;
+    let window = (0.05, 0.4);
+    let mean_down_s = 0.3;
+    let cfg = SimConfig {
+        transport: Transport::Mptcp {
+            k: 4,
+            coupled: true,
+        },
+        ..SimConfig::default()
+    };
+
+    // Degradation grid on the parallel driver: one cell per
+    // (mode, fraction).
+    let jobs: Vec<(usize, f64)> = (0..instances.len())
+        .flat_map(|m| fractions.iter().map(move |&f| (m, f)))
+        .collect();
+    let cells: Vec<DegradationPoint> = sweep(&jobs, |_, &(mode_idx, fraction)| {
+        let (name, inst) = &instances[mode_idx];
+        let g = &inst.net.graph;
+        let pairs_idx = traffic::patterns::permutation(inst.net.num_servers(), scale.seed);
+        let flows = common::flow_specs(&inst.net, &pairs_idx, bytes);
+        let pairs: Vec<(NodeId, NodeId)> = pairs_idx
+            .iter()
+            .map(|&(s, d)| (inst.net.servers[s], inst.net.servers[d]))
+            .collect();
+        let mut plan = FaultPlan::new(scale.seed ^ ((mode_idx as u64) << 17));
+        plan.random_link_flaps(&cables(g), fraction, mean_down_s, window);
+        let schedule = plan.compile(g).expect("plan matches its own graph");
+        let out = flowsim::simulate_under_faults(g, &flows, &cfg, &schedule)
+            .expect("workload is valid by construction");
+        let fcts: Vec<f64> = out.result.records.iter().filter_map(|r| r.fct()).collect();
+        let mean_fct = crate::report::mean(&fcts);
+        let rates: Vec<f64> = out
+            .result
+            .records
+            .iter()
+            .filter_map(|r| r.avg_rate_gbps())
+            .collect();
+        DegradationPoint {
+            mode: name.clone(),
+            fault_fraction: fraction,
+            completed: out.result.completed_fraction(),
+            fct_stretch: mean_fct, // normalized against the 0% cell below
+            mean_gbps: crate::report::mean(&rates),
+            parked: out.audit.parked,
+            revived: out.audit.revived,
+            audit_violations: out.audit.violations(),
+            min_connected: min_connectivity(g, &schedule, &pairs),
+        }
+    });
+    // Normalize FCT stretch per mode against that mode's fault-free mean.
+    let mut degradation = cells;
+    for (mode_name, _) in &instances {
+        let base = degradation
+            .iter()
+            .find(|p| &p.mode == mode_name && p.fault_fraction == 0.0)
+            .map(|p| p.fct_stretch)
+            .expect("fraction grid includes 0.0");
+        for p in degradation.iter_mut().filter(|p| &p.mode == mode_name) {
+            p.fct_stretch /= base;
+        }
+    }
+
+    // Stuck converters: global mode with 0, 1, and a quarter of the
+    // converters latched in the Clos configuration.
+    let pods = ft.pods();
+    let global = ModeAssignment::uniform(pods, PodMode::Global);
+    let total_converters = ft.instantiate(&global).configs.len();
+    let stuck_counts: Vec<usize> = if scale.smoke {
+        vec![0, 1]
+    } else {
+        vec![0, 1, total_converters / 4]
+    };
+    let stuck_cells: Vec<(usize, f64)> = sweep(&stuck_counts, |_, &n| {
+        let mut plan = FaultPlan::new(scale.seed);
+        for c in 0..n {
+            plan.stuck_converter(c, StuckConfig::Default);
+        }
+        let overrides: Vec<(usize, ConverterConfig)> = plan
+            .stuck_converters
+            .iter()
+            .map(|s| (s.converter, to_converter_config(s.config)))
+            .collect();
+        let inst = ft.instantiate_with_overrides(&global, &overrides);
+        let pairs_idx = traffic::patterns::permutation(inst.net.num_servers(), scale.seed);
+        let flows = common::flow_specs(&inst.net, &pairs_idx, bytes);
+        let res = flowsim::try_simulate(&inst.net.graph, &flows, &cfg).expect("workload is valid");
+        let rates: Vec<f64> = res
+            .records
+            .iter()
+            .filter_map(|r| r.avg_rate_gbps())
+            .collect();
+        (n, crate::report::mean(&rates))
+    });
+    let clean = stuck_cells
+        .first()
+        .map(|&(_, g)| g)
+        .expect("stuck grid includes 0");
+    let stuck = stuck_cells
+        .into_iter()
+        .map(|(n, gbps)| StuckPoint {
+            stuck: n,
+            mean_gbps: gbps,
+            normalized: gbps / clean,
+        })
+        .collect();
+
+    // Conversion under control-plane failure, on the testbed controller.
+    let levels: Vec<(&str, ControlFaults)> = vec![
+        ("none", ControlFaults::none()),
+        (
+            "ocs-flaky",
+            ControlFaults {
+                seed: scale.seed ^ 43,
+                ocs_fail_prob: 0.7,
+                ocs_timeout_prob: 0.2,
+                ..ControlFaults::none()
+            },
+        ),
+        (
+            "rules-flaky",
+            ControlFaults {
+                seed: scale.seed,
+                rule_fail_prob: 0.05,
+                ..ControlFaults::none()
+            },
+        ),
+        (
+            "crashy",
+            ControlFaults {
+                seed: scale.seed,
+                rule_fail_prob: 0.02,
+                shard_crash_prob: 0.25,
+                shard_recover_ms: 250.0,
+                ..ControlFaults::none()
+            },
+        ),
+        (
+            "hopeless",
+            ControlFaults {
+                seed: scale.seed,
+                ocs_fail_prob: 1.0,
+                ..ControlFaults::none()
+            },
+        ),
+    ];
+    let policy = RetryPolicy {
+        shards: 2,
+        ..RetryPolicy::default()
+    };
+    let conversion = levels
+        .iter()
+        .map(|(label, faults)| {
+            // A fresh rig per level: every conversion starts from Clos.
+            let rig = TestbedRig::new();
+            let pods = rig.controller.flat_tree().pods();
+            let to = ModeAssignment::uniform(pods, PodMode::Global);
+            let out = rig
+                .controller
+                .convert_resilient(&to, &policy, faults)
+                .expect("valid fault levels");
+            ConversionPoint {
+                level: label.to_string(),
+                status: format!("{:?}", out.status).to_lowercase(),
+                retries: out.total_retries,
+                total_ms: out.total_ms,
+                nominal_ms: out.report.total_sequential_ms(),
+            }
+        })
+        .collect();
+
+    FaultSweep {
+        degradation,
+        stuck,
+        conversion,
+    }
+}
+
+fn to_converter_config(c: StuckConfig) -> ConverterConfig {
+    match c {
+        StuckConfig::Default => ConverterConfig::Default,
+        StuckConfig::Local => ConverterConfig::Local,
+        StuckConfig::Side => ConverterConfig::Side,
+        StuckConfig::Cross => ConverterConfig::Cross,
+    }
+}
+
+/// Total auditor violations across the sweep (the binary's exit gate).
+pub fn total_violations(s: &FaultSweep) -> usize {
+    s.degradation.iter().map(|p| p.audit_violations).sum()
+}
+
+/// Prints the three tables.
+pub fn print(s: &FaultSweep) {
+    let body: Vec<Vec<String>> = s
+        .degradation
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.clone(),
+                format!("{:.0}%", p.fault_fraction * 100.0),
+                format!("{:.1}%", p.completed * 100.0),
+                f3(p.fct_stretch),
+                f3(p.mean_gbps),
+                p.parked.to_string(),
+                p.revived.to_string(),
+                format!("{:.1}%", p.min_connected * 100.0),
+                p.audit_violations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fault sweep: degradation under cable flaps (extension)",
+        &[
+            "mode",
+            "flapped",
+            "completed",
+            "FCT stretch",
+            "mean Gbps",
+            "parked",
+            "revived",
+            "min conn",
+            "violations",
+        ],
+        &body,
+    );
+
+    let body: Vec<Vec<String>> = s
+        .stuck
+        .iter()
+        .map(|p| vec![p.stuck.to_string(), f3(p.mean_gbps), f3(p.normalized)])
+        .collect();
+    print_table(
+        "Fault sweep: global mode with stuck converters (§3.6)",
+        &["stuck", "mean Gbps", "normalized"],
+        &body,
+    );
+
+    let body: Vec<Vec<String>> = s
+        .conversion
+        .iter()
+        .map(|p| {
+            vec![
+                p.level.clone(),
+                p.status.clone(),
+                p.retries.to_string(),
+                f3(p.total_ms),
+                f3(p.nominal_ms),
+                f3(p.total_ms / p.nominal_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fault sweep: testbed clos→global conversion under control-plane faults",
+        &[
+            "level",
+            "status",
+            "retries",
+            "total ms",
+            "nominal ms",
+            "inflation",
+        ],
+        &body,
+    );
+}

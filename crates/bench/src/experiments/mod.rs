@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod faultsweep;
 pub mod fig10;
 pub mod fig11;
 pub mod fig6;

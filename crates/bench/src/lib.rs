@@ -19,4 +19,5 @@ pub mod report;
 pub mod scale;
 pub mod sweep;
 
+pub use flowsim::faults;
 pub use scale::Scale;

@@ -7,6 +7,9 @@ use serde::{Deserialize, Serialize};
 pub struct Scale {
     /// Use the paper's full Table 2 sizes instead of the mini scale.
     pub full: bool,
+    /// Shrink further to a seconds-long CI smoke run (testbed-sized
+    /// networks, reduced grids). Overrides `full`.
+    pub smoke: bool,
     /// RNG seed for workloads and random topologies.
     pub seed: u64,
     /// Also emit results as JSON on stdout.
@@ -17,6 +20,7 @@ impl Default for Scale {
     fn default() -> Self {
         Self {
             full: false,
+            smoke: false,
             seed: 1,
             json: false,
         }
@@ -24,7 +28,8 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// Parses `--full`, `--seed <u64>`, `--json` from process args.
+    /// Parses `--full`, `--smoke`, `--seed <u64>`, `--json` from process
+    /// args.
     pub fn from_args() -> Self {
         let mut s = Self::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +37,7 @@ impl Scale {
         while i < args.len() {
             match args[i].as_str() {
                 "--full" => s.full = true,
+                "--smoke" => s.smoke = true,
                 "--json" => s.json = true,
                 "--seed" => {
                     i += 1;
@@ -40,7 +46,9 @@ impl Scale {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs a u64");
                 }
-                other => panic!("unknown argument {other}; known: --full --seed <u64> --json"),
+                other => {
+                    panic!("unknown argument {other}; known: --full --smoke --seed <u64> --json")
+                }
             }
             i += 1;
         }

@@ -12,7 +12,12 @@
 
 use crate::conversion::{ConversionReport, DelayModel};
 use crate::distributed::PerSwitchChurn;
+use crate::resilient::{
+    run_conversion, ConversionError, ConversionOutcome, ConversionStatus, ConversionWork,
+    RetryPolicy,
+};
 use flat_tree::{FlatTree, FlatTreeInstance, ModeAssignment, PodMode};
+use flowsim::faults::ControlFaults;
 use parking_lot::RwLock;
 use routing::addressing::TopologyModeId;
 use routing::rules::{compile_ip_rules, RuleSet};
@@ -120,6 +125,51 @@ impl Controller {
         }
     }
 
+    /// Converts the network to a new assignment through the staged,
+    /// fault-tolerant state machine ([`crate::resilient`]): OCS
+    /// reconfigure, rule delete, rule add — per shard, with per-stage
+    /// retry/backoff drawn from `faults` and rollback to the current
+    /// mode on persistent failure. The target assignment is committed
+    /// iff the outcome is [`ConversionStatus::Committed`]; on
+    /// `RolledBack` the controller keeps the old mode, and on `Degraded`
+    /// it also keeps the old mode label while the outcome flags the
+    /// network as needing intervention.
+    ///
+    /// With [`ControlFaults::none`] and one shard this reduces exactly
+    /// to [`Controller::convert`]: same report, same total delay, and
+    /// the assignment is committed.
+    pub fn convert_resilient(
+        &self,
+        to: &ModeAssignment,
+        policy: &RetryPolicy,
+        faults: &ControlFaults,
+    ) -> Result<ConversionOutcome, ConversionError> {
+        let from = self.current_assignment();
+        let old = self.artifacts(&from);
+        let new = self.artifacts(to);
+        let work = ConversionWork {
+            crosspoints_changed: old
+                .instance
+                .configs
+                .iter()
+                .zip(&new.instance.configs)
+                .filter(|(a, b)| a != b)
+                .count(),
+            per_switch: old
+                .rules
+                .diff_per_switch(&new.rules)
+                .into_iter()
+                .map(|(_, d, a)| (d, a))
+                .collect(),
+            delay: self.delay,
+        };
+        let outcome = run_conversion(&work, &from.label(), &to.label(), policy, faults)?;
+        if outcome.status == ConversionStatus::Committed {
+            *self.current.write() = to.clone();
+        }
+        Ok(outcome)
+    }
+
     /// Per-switch churn of a hypothetical conversion, for the §4.3
     /// distributed-controller estimates.
     pub fn churn(&self, from: &ModeAssignment, to: &ModeAssignment) -> PerSwitchChurn {
@@ -209,6 +259,46 @@ mod tests {
         let four = churn.sharded_latency_ms(4, 1.0);
         assert!(four < one);
         assert!(churn.per_switch_agent_latency_ms(1.0) <= four + 1e-9);
+    }
+
+    #[test]
+    fn resilient_conversion_reduces_to_plain_convert_when_quiet() {
+        let plain = controller();
+        let resilient = controller();
+        let to = ModeAssignment::uniform(4, PodMode::Global);
+        let expected = plain.convert(&to);
+        let out = resilient
+            .convert_resilient(&to, &RetryPolicy::default(), &ControlFaults::none())
+            .expect("valid inputs");
+        assert_eq!(out.status, ConversionStatus::Committed);
+        assert_eq!(out.report, expected);
+        assert_eq!(
+            out.total_ms.to_bits(),
+            expected.total_sequential_ms().to_bits()
+        );
+        assert_eq!(resilient.current_assignment().label(), "global");
+    }
+
+    #[test]
+    fn failed_resilient_conversion_keeps_the_old_mode() {
+        let c = controller();
+        let to = ModeAssignment::uniform(4, PodMode::Global);
+        let faults = ControlFaults {
+            ocs_fail_prob: 1.0,
+            ..ControlFaults::none()
+        };
+        let out = c
+            .convert_resilient(&to, &RetryPolicy::default(), &faults)
+            .expect("valid inputs");
+        assert_eq!(out.status, ConversionStatus::RolledBack);
+        assert_eq!(out.rollback_to.as_deref(), Some("clos"));
+        assert_eq!(c.current_assignment().label(), "clos");
+        // The network stayed put, so a later quiet conversion still works.
+        let ok = c
+            .convert_resilient(&to, &RetryPolicy::default(), &ControlFaults::none())
+            .expect("valid inputs");
+        assert_eq!(ok.status, ConversionStatus::Committed);
+        assert_eq!(c.current_assignment().label(), "global");
     }
 
     #[test]

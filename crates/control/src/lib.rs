@@ -15,11 +15,20 @@
 //!   OCS reconfiguration, ~1 ms per OpenFlow rule update, §4.3/§5.3) and
 //!   also reports the parallelized variant the paper says is easy;
 //! * [`distributed`] models the §4.3 scaling options: sharding the rule
-//!   push over multiple controllers and precomputing paths.
+//!   push over multiple controllers and precomputing paths;
+//! * [`resilient`] reworks the conversion into a staged state machine —
+//!   OCS reconfigure, rule delete, rule add, per controller shard — with
+//!   per-stage timeouts, bounded retry with exponential backoff, and
+//!   rollback to the last-known-good mode, driven by deterministic
+//!   control-plane fault draws ([`flowsim::faults::ControlFaults`]).
 
 pub mod controller;
 pub mod conversion;
 pub mod distributed;
+pub mod resilient;
 
 pub use controller::Controller;
 pub use conversion::{ConversionReport, DelayModel};
+pub use resilient::{
+    ConversionError, ConversionOutcome, ConversionStatus, RetryPolicy, StageKind, StageTrace,
+};

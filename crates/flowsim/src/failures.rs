@@ -43,6 +43,36 @@ impl FailedLinks {
         true
     }
 
+    /// Marks a directed link as recovered. Bumps the epoch (only) when
+    /// the link was previously down; returns whether it was newly
+    /// recovered. The epoch contract is the same as [`FailedLinks::fail`]:
+    /// any change to the failure set — in either direction — invalidates
+    /// route caches keyed on [`FailedLinks::epoch`].
+    pub fn recover(&mut self, l: LinkId) -> bool {
+        let slot = &mut self.down[l.idx()];
+        if !*slot {
+            return false;
+        }
+        *slot = false;
+        self.count -= 1;
+        self.epoch += 1;
+        true
+    }
+
+    /// Recovers every failed link in one step. Bumps the epoch once
+    /// (only) when at least one link was down; returns how many links
+    /// came back up.
+    pub fn set_all_up(&mut self) -> usize {
+        if self.count == 0 {
+            return 0;
+        }
+        let recovered = self.count;
+        self.down.fill(false);
+        self.count = 0;
+        self.epoch += 1;
+        recovered
+    }
+
     /// Whether this directed link is failed.
     #[inline]
     pub fn is_down(&self, l: LinkId) -> bool {
@@ -89,6 +119,36 @@ mod tests {
         assert!(f.fail(LinkId(0)));
         assert_eq!(f.epoch(), 2);
         assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn recover_bumps_epoch_only_on_transitions() {
+        let mut f = FailedLinks::new(4);
+        assert!(!f.recover(LinkId(1)), "recovering an up link is a no-op");
+        assert_eq!(f.epoch(), 0);
+        f.fail(LinkId(1));
+        f.fail(LinkId(3));
+        assert_eq!((f.epoch(), f.count()), (2, 2));
+        assert!(f.recover(LinkId(1)));
+        assert_eq!((f.epoch(), f.count()), (3, 1));
+        assert!(!f.is_down(LinkId(1)));
+        assert!(f.is_down(LinkId(3)));
+        assert!(!f.recover(LinkId(1)), "double recovery is a no-op");
+        assert_eq!(f.epoch(), 3);
+    }
+
+    #[test]
+    fn set_all_up_recovers_everything_in_one_epoch() {
+        let mut f = FailedLinks::new(5);
+        assert_eq!(f.set_all_up(), 0, "nothing down: no epoch bump");
+        assert_eq!(f.epoch(), 0);
+        f.fail(LinkId(0));
+        f.fail(LinkId(2));
+        f.fail(LinkId(4));
+        assert_eq!(f.set_all_up(), 3);
+        assert_eq!((f.epoch(), f.count()), (4, 0));
+        assert!(!f.any());
+        assert!(f.path_alive(&[LinkId(0), LinkId(2), LinkId(4)]));
     }
 
     #[test]

@@ -36,15 +36,33 @@
 //! preserved in [`reference`] as the behavioral oracle: both engines
 //! produce bit-identical [`SimResult`]s.
 
+//!
+//! # Fault plane
+//!
+//! [`faults`] is the fault-injection substrate: a seeded, deterministic
+//! [`faults::FaultPlan`] (link flaps that fail **and recover**, whole-
+//! switch down/up, stuck converters, control-plane fault rates) compiles
+//! against a graph into a [`faults::FaultSchedule`] that
+//! [`sim::simulate_under_faults`] replays, parking connections that lose
+//! every path and reviving them on recovery. The run's invariant auditor
+//! ([`faults::AuditReport`]) certifies that no flow ever carried rate
+//! over a dead link and that routing state stayed consistent after every
+//! fault event.
+
 pub mod alloc;
+pub mod error;
 pub mod failures;
+pub mod faults;
 pub mod provider;
 pub mod reference;
 pub mod sim;
 
+pub use error::{FaultError, SimError};
 pub use failures::FailedLinks;
+pub use faults::{AuditReport, ControlFaults, FaultPlan, FaultSchedule, LinkEvent, StuckConfig};
 pub use provider::{EcmpProvider, MptcpProvider, PathProvider, RoutedConn};
 pub use sim::{
-    simulate, simulate_with_provider, FlowRecord, FlowSpec, LinkFailure, SimConfig, SimResult,
-    Transport,
+    simulate, simulate_under_faults, simulate_under_faults_with_provider, simulate_with_provider,
+    try_simulate, try_simulate_with_provider, FaultSimOutcome, FlowRecord, FlowSpec, LinkFailure,
+    SimConfig, SimResult, Transport,
 };

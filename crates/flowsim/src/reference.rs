@@ -46,11 +46,15 @@ pub fn simulate_reference(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> Sim
         flows[a]
             .start
             .partial_cmp(&flows[b].start)
-            .unwrap()
+            .expect("flow start times must be finite")
             .then(a.cmp(&b))
     });
     let mut failures = cfg.link_failures.clone();
-    failures.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    failures.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("failure times must be finite")
+    });
     let mut failed: std::collections::HashSet<usize> = std::collections::HashSet::new();
 
     let mut next_arrival = 0usize;

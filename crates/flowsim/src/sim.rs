@@ -9,7 +9,9 @@
 //! pre-refactor engine (kept as
 //! [`reference::simulate_reference`](crate::reference::simulate_reference)).
 
+use crate::error::SimError;
 use crate::failures::FailedLinks;
+use crate::faults::{AuditReport, FaultSchedule, LinkEvent};
 use crate::provider::{EcmpProvider, MptcpProvider, PathProvider};
 use mcf::AllocWorkspace;
 use netgraph::{Graph, LinkId, NodeId, PathArena, PathId};
@@ -135,7 +137,7 @@ impl SimResult {
     /// Completed FCTs in seconds, sorted ascending (CDF material).
     pub fn sorted_fcts(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.fct()).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.partial_cmp(b).expect("engine produces finite FCTs"));
         v
     }
 
@@ -143,6 +145,15 @@ impl SimResult {
     pub fn mean_fct(&self) -> Option<f64> {
         let v = self.sorted_fcts();
         (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// Fraction of input flows that completed.
+    pub fn completed_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.iter().filter(|r| r.finish.is_some()).count() as f64
+            / self.records.len() as f64
     }
 
     /// Mean per-flow average goodput (Gbps) over completed flows.
@@ -164,15 +175,65 @@ struct Active {
     subflow_weight: f64,
 }
 
+/// A faulted simulation's output: the ordinary [`SimResult`] plus the
+/// invariant auditor's tallies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSimOutcome {
+    /// The simulation result.
+    pub result: SimResult,
+    /// Invariant-auditor tallies ([`AuditReport::violations`] is zero on
+    /// a correct engine).
+    pub audit: AuditReport,
+}
+
+/// Validates a workload against the graph and configuration.
+fn validate_inputs(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> Result<(), SimError> {
+    for f in flows {
+        if !f.start.is_finite() {
+            return Err(SimError::NonFiniteStart { flow: f.id });
+        }
+        if !(f.bytes.is_finite() && f.bytes > 0.0) {
+            return Err(SimError::InvalidBytes {
+                flow: f.id,
+                bytes: f.bytes,
+            });
+        }
+        if f.src == f.dst {
+            return Err(SimError::SelfFlow {
+                flow: f.id,
+                node: f.src,
+            });
+        }
+    }
+    for lf in &cfg.link_failures {
+        if !lf.time.is_finite() {
+            return Err(SimError::NonFiniteFailureTime);
+        }
+        if lf.link.idx() >= g.link_count() {
+            return Err(SimError::UnknownFailedLink {
+                link: lf.link.idx(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Runs the fluid simulation.
 ///
 /// Flows may arrive in any order (sorted internally). Unroutable flows
 /// (disconnected endpoints) are recorded as never finishing.
+///
+/// Panics on invalid input; use [`try_simulate`] for a typed error.
 pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
+    try_simulate(g, flows, cfg).unwrap_or_else(|e| panic!("invalid simulation input: {e}"))
+}
+
+/// [`simulate`] with typed input validation instead of panics.
+pub fn try_simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> Result<SimResult, SimError> {
     match cfg.transport {
-        Transport::TcpEcmp => simulate_with_provider(g, flows, cfg, &mut EcmpProvider::new()),
+        Transport::TcpEcmp => try_simulate_with_provider(g, flows, cfg, &mut EcmpProvider::new()),
         Transport::Mptcp { k, coupled } => {
-            simulate_with_provider(g, flows, cfg, &mut MptcpProvider::new(k, coupled))
+            try_simulate_with_provider(g, flows, cfg, &mut MptcpProvider::new(k, coupled))
         }
     }
 }
@@ -184,13 +245,102 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
 /// must be deterministic — see [`PathProvider`]). Note `cfg.transport`
 /// still selects the fairness weights reported by the provider itself;
 /// the engine uses whatever the provider returns.
+///
+/// Panics on invalid input; use [`try_simulate_with_provider`] for a
+/// typed error.
 pub fn simulate_with_provider<P: PathProvider + ?Sized>(
     g: &Graph,
     flows: &[FlowSpec],
     cfg: &SimConfig,
     provider: &mut P,
 ) -> SimResult {
+    try_simulate_with_provider(g, flows, cfg, provider)
+        .unwrap_or_else(|e| panic!("invalid simulation input: {e}"))
+}
+
+/// [`simulate_with_provider`] with typed input validation.
+pub fn try_simulate_with_provider<P: PathProvider + ?Sized>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    provider: &mut P,
+) -> Result<SimResult, SimError> {
+    validate_inputs(g, flows, cfg)?;
+    Ok(run_engine(g, flows, cfg, provider, &[], None))
+}
+
+/// Runs the fluid simulation under a compiled fault schedule, with the
+/// invariant auditor enabled.
+///
+/// The schedule's recovery events exercise graceful-degradation routing:
+/// connections that lose every path are *parked* (not dropped) and
+/// re-routed when a recovery event restores connectivity, and arrivals
+/// during a partition wait parked for the network to heal. With an
+/// empty schedule the engine takes exactly the fault-free code path and
+/// the result is bit-identical to [`simulate`].
+pub fn simulate_under_faults(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+) -> Result<FaultSimOutcome, SimError> {
+    match cfg.transport {
+        Transport::TcpEcmp => {
+            simulate_under_faults_with_provider(g, flows, cfg, schedule, &mut EcmpProvider::new())
+        }
+        Transport::Mptcp { k, coupled } => simulate_under_faults_with_provider(
+            g,
+            flows,
+            cfg,
+            schedule,
+            &mut MptcpProvider::new(k, coupled),
+        ),
+    }
+}
+
+/// [`simulate_under_faults`] with a caller-supplied routing provider.
+pub fn simulate_under_faults_with_provider<P: PathProvider + ?Sized>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    provider: &mut P,
+) -> Result<FaultSimOutcome, SimError> {
+    validate_inputs(g, flows, cfg)?;
+    for ev in &schedule.events {
+        if !ev.time.is_finite() {
+            return Err(SimError::NonFiniteFailureTime);
+        }
+        if ev.link.idx() >= g.link_count() {
+            return Err(SimError::UnknownFailedLink {
+                link: ev.link.idx(),
+            });
+        }
+    }
+    let mut audit = AuditReport::default();
+    let result = run_engine(g, flows, cfg, provider, &schedule.events, Some(&mut audit));
+    Ok(FaultSimOutcome { result, audit })
+}
+
+/// The event loop. `schedule` must be sorted by time; an empty schedule
+/// with no auditor reproduces the pre-fault-plane engine bit for bit.
+fn run_engine<P: PathProvider + ?Sized>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    provider: &mut P,
+    schedule: &[LinkEvent],
+    mut audit: Option<&mut AuditReport>,
+) -> SimResult {
     let mut caps = g.capacities();
+    // Pristine capacities, for restoring a link on a recovery event.
+    let base_caps = caps.clone();
+    // Parked connections: lost every path (or arrived unroutable) while
+    // a fault schedule with possible recoveries is active. Revived on
+    // recovery events; only ever populated when `schedule` is non-empty.
+    let has_faults = !schedule.is_empty();
+    let mut parked: Vec<Active> = Vec::new();
+    let mut next_event = 0usize;
     let mut arena = PathArena::new();
     let mut ws = AllocWorkspace::new();
 
@@ -209,11 +359,15 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
         flows[a]
             .start
             .partial_cmp(&flows[b].start)
-            .unwrap()
+            .expect("start times validated finite")
             .then(a.cmp(&b))
     });
     let mut failures = cfg.link_failures.clone();
-    failures.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    failures.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("failure times validated finite")
+    });
     let mut failed = FailedLinks::new(g.link_count());
 
     let mut next_arrival = 0usize;
@@ -240,6 +394,19 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
             }
         }
         let sub_rates = ws.allocate(&caps);
+        if let Some(rep) = audit.as_deref_mut() {
+            // Invariant 1: no subflow carries rate over a down link.
+            let mut si = 0usize;
+            for a in &active {
+                for &pid in &a.path_ids {
+                    rep.checks += 1;
+                    if sub_rates[si] > STALL_RATE && !failed.path_alive(arena.links(pid)) {
+                        rep.rate_on_down_link += 1;
+                    }
+                    si += 1;
+                }
+            }
+        }
         rates.clear();
         rates.resize(active.len(), 0.0);
         for (&r, &ci) in sub_rates.iter().zip(&owner) {
@@ -252,13 +419,14 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
         // Next event time.
         let t_arr = (next_arrival < order.len()).then(|| flows[order[next_arrival]].start);
         let t_fail = (next_failure < failures.len()).then(|| failures[next_failure].time);
+        let t_ev = (next_event < schedule.len()).then(|| schedule[next_event].time);
         let t_fin = active
             .iter()
             .zip(&rates)
             .filter(|(_, &r)| r > STALL_RATE)
             .map(|(a, &r)| t + a.remaining / (r * GBPS_TO_BPS))
             .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.min(x))));
-        let candidates = [t_arr, t_fail, t_fin];
+        let candidates = [t_arr, t_fail, t_fin, t_ev];
         let Some(t_next) = candidates
             .iter()
             .flatten()
@@ -291,8 +459,6 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
             let idx = order[next_arrival];
             next_arrival += 1;
             let spec = flows[idx];
-            assert_ne!(spec.src, spec.dst, "self-flow {}", spec.id);
-            assert!(spec.bytes > 0.0, "empty flow {}", spec.id);
             match provider.route(g, &mut arena, &failed, &spec) {
                 Some(conn) => active.push(Active {
                     rec_idx: idx,
@@ -301,11 +467,26 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
                     path_ids: conn.path_ids,
                     subflow_weight: conn.subflow_weight,
                 }),
+                None if has_faults => {
+                    // Unroutable during a partition: wait parked for a
+                    // recovery event instead of never finishing.
+                    parked.push(Active {
+                        rec_idx: idx,
+                        spec,
+                        remaining: spec.bytes,
+                        path_ids: Vec::new(),
+                        subflow_weight: 1.0,
+                    });
+                    if let Some(rep) = audit.as_deref_mut() {
+                        rep.parked += 1;
+                    }
+                }
                 None => { /* unroutable: record stays unfinished */ }
             }
         }
-        // Failures.
+        // Failures (legacy down-only list).
         let mut failed_now = false;
+        let mut recovered_now = false;
         while next_failure < failures.len() && failures[next_failure].time <= t + 1e-15 {
             let f = failures[next_failure];
             next_failure += 1;
@@ -317,7 +498,53 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
             }
             failed_now = true;
         }
-        if failed_now {
+        // Fault-plan events (down and up, directed-link granularity).
+        while next_event < schedule.len() && schedule[next_event].time <= t + 1e-15 {
+            let ev = schedule[next_event];
+            next_event += 1;
+            if let Some(rep) = audit.as_deref_mut() {
+                rep.events_applied += 1;
+            }
+            if ev.up {
+                if failed.recover(ev.link) {
+                    caps[ev.link.idx()] = base_caps[ev.link.idx()];
+                    recovered_now = true;
+                }
+            } else if failed.fail(ev.link) {
+                caps[ev.link.idx()] = 0.0;
+                failed_now = true;
+            }
+        }
+        if recovered_now {
+            // Graceful re-convergence: refresh every active connection
+            // onto the provider's routes for the healed network, then
+            // revive whatever parked connections can route again.
+            for a in active.iter_mut() {
+                let spec = a.spec;
+                if let Some(conn) = provider.route(g, &mut arena, &failed, &spec) {
+                    a.path_ids = conn.path_ids;
+                    a.subflow_weight = conn.subflow_weight;
+                } else {
+                    a.path_ids
+                        .retain(|&pid| failed.path_alive(arena.links(pid)));
+                }
+            }
+            let mut still_parked = Vec::new();
+            for mut a in parked.drain(..) {
+                let spec = a.spec;
+                if let Some(conn) = provider.route(g, &mut arena, &failed, &spec) {
+                    a.path_ids = conn.path_ids;
+                    a.subflow_weight = conn.subflow_weight;
+                    if let Some(rep) = audit.as_deref_mut() {
+                        rep.revived += 1;
+                    }
+                    active.push(a);
+                } else {
+                    still_parked.push(a);
+                }
+            }
+            parked = still_parked;
+        } else if failed_now {
             // Re-route connections that lost a subflow.
             for a in active.iter_mut() {
                 let hit = a
@@ -336,8 +563,40 @@ pub fn simulate_with_provider<P: PathProvider + ?Sized>(
                     }
                 }
             }
-            // Permanently stalled connections drop out; finish stays None.
-            active.retain(|a| !a.path_ids.is_empty());
+        }
+        if failed_now || recovered_now {
+            if has_faults {
+                // Connections with no path left wait parked for a
+                // recovery event; finish stays None if none comes.
+                let mut i = 0;
+                while i < active.len() {
+                    if active[i].path_ids.is_empty() {
+                        parked.push(active.remove(i));
+                        if let Some(rep) = audit.as_deref_mut() {
+                            rep.parked += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                // Permanently stalled connections drop out; finish stays
+                // None.
+                active.retain(|a| !a.path_ids.is_empty());
+            }
+            if let Some(rep) = audit.as_deref_mut() {
+                // Invariant 2: every connection kept active after a
+                // fault event has at least one fully-alive path.
+                for a in &active {
+                    if !a
+                        .path_ids
+                        .iter()
+                        .any(|&pid| failed.path_alive(arena.links(pid)))
+                    {
+                        rep.dead_active_conn += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -521,6 +780,167 @@ mod tests {
         let peak = res.series.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
         assert!((peak - 10.0).abs() < 1e-9, "peak {peak}");
         assert!(res.end_time > 0.0);
+    }
+
+    #[test]
+    fn try_simulate_rejects_bad_input() {
+        let (g, s, _) = dumbbell();
+        use crate::error::SimError;
+        let bad_start = vec![spec(0, s[0], s[2], 1.0, f64::NAN)];
+        assert!(matches!(
+            try_simulate(&g, &bad_start, &SimConfig::default()),
+            Err(SimError::NonFiniteStart { flow: 0 })
+        ));
+        let self_flow = vec![spec(1, s[0], s[0], 1.0, 0.0)];
+        assert!(matches!(
+            try_simulate(&g, &self_flow, &SimConfig::default()),
+            Err(SimError::SelfFlow { flow: 1, .. })
+        ));
+        let empty = vec![spec(2, s[0], s[1], 0.0, 0.0)];
+        assert!(matches!(
+            try_simulate(&g, &empty, &SimConfig::default()),
+            Err(SimError::InvalidBytes { flow: 2, .. })
+        ));
+        let cfg = SimConfig {
+            link_failures: vec![LinkFailure {
+                time: 1.0,
+                link: LinkId(9999),
+            }],
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            try_simulate(&g, &[spec(3, s[0], s[2], 1.0, 0.0)], &cfg),
+            Err(SimError::UnknownFailedLink { .. })
+        ));
+    }
+
+    /// An empty fault schedule takes exactly the fault-free code path:
+    /// the outcome is bit-identical to `simulate` and the auditor is
+    /// silent.
+    #[test]
+    fn empty_schedule_is_bit_identical_to_simulate() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0),
+            spec(1, s[1], s[3], 0.625e9, 0.25),
+        ];
+        let cfg = SimConfig {
+            link_failures: vec![LinkFailure {
+                time: 0.5,
+                link: core,
+            }],
+            record_series: true,
+            ..SimConfig::default()
+        };
+        let plain = simulate(&g, &flows, &cfg);
+        let faulted =
+            simulate_under_faults(&g, &flows, &cfg, &crate::faults::FaultSchedule::empty())
+                .expect("valid input");
+        assert_eq!(plain.records, faulted.result.records);
+        assert_eq!(plain.series.len(), faulted.result.series.len());
+        for (a, b) in plain.series.iter().zip(&faulted.result.series) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert_eq!(plain.end_time.to_bits(), faulted.result.end_time.to_bits());
+        assert_eq!(faulted.audit.violations(), 0);
+        assert_eq!(faulted.audit.events_applied, 0);
+        assert_eq!(faulted.audit.parked, 0);
+    }
+
+    /// A flap on the only path parks the flow and revives it on
+    /// recovery: the flow completes late instead of never.
+    #[test]
+    fn flap_parks_then_revives_the_only_path() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.0)];
+        let mut plan = crate::faults::FaultPlan::new(1);
+        plan.flap(core, 0.5, Some(2.0));
+        let sched = plan.compile(&g).expect("valid plan");
+        let cfg = SimConfig::default();
+        let out = simulate_under_faults(&g, &flows, &cfg, &sched).expect("valid input");
+        // 0.625 GB done by t=0.5; parked for 1.5 s; remaining 0.625 GB
+        // at 10 Gbps takes 0.5 s -> finish at 2.5 s.
+        let fct = out.result.records[0].fct().expect("revived after flap");
+        assert!((fct - 2.5).abs() < 1e-9, "fct = {fct}");
+        assert_eq!(out.audit.parked, 1);
+        assert_eq!(out.audit.revived, 1);
+        assert_eq!(out.audit.violations(), 0);
+        assert_eq!(out.audit.events_applied, 4); // 2 directions × down+up
+    }
+
+    /// An arrival during a partition waits parked and completes once the
+    /// network heals.
+    #[test]
+    fn arrival_during_partition_waits_for_recovery() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.5)];
+        let mut plan = crate::faults::FaultPlan::new(1);
+        plan.flap(core, 0.25, Some(1.0));
+        let sched = plan.compile(&g).expect("valid plan");
+        let out =
+            simulate_under_faults(&g, &flows, &SimConfig::default(), &sched).expect("valid input");
+        // Arrives at 0.5 into a dead core, parked; core heals at 1.0;
+        // 1 s of transfer -> finish 2.0, fct 1.5.
+        let fct = out.result.records[0].fct().expect("must finish after heal");
+        assert!((fct - 1.5).abs() < 1e-9, "fct = {fct}");
+        assert_eq!(out.audit.parked, 1);
+        assert_eq!(out.audit.revived, 1);
+        assert_eq!(out.audit.violations(), 0);
+    }
+
+    /// A permanent (never-recovering) fault leaves the flow unfinished,
+    /// matching the legacy failure semantics.
+    #[test]
+    fn permanent_fault_still_stalls_forever() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![spec(0, s[0], s[2], 1.25e9, 0.0)];
+        let mut plan = crate::faults::FaultPlan::new(1);
+        plan.flap(core, 0.5, None);
+        let sched = plan.compile(&g).expect("valid plan");
+        let out =
+            simulate_under_faults(&g, &flows, &SimConfig::default(), &sched).expect("valid input");
+        assert_eq!(out.result.records[0].finish, None);
+        assert_eq!(out.audit.parked, 1);
+        assert_eq!(out.audit.revived, 0);
+        assert_eq!(out.audit.violations(), 0);
+    }
+
+    /// A whole-switch flap kills every incident link and heals them all.
+    #[test]
+    fn switch_flap_reroutes_around_and_back() {
+        // Diamond with two disjoint switch paths (as in
+        // link_failure_reroutes_over_survivor).
+        let mut g = Graph::new();
+        let e0 = g.add_node(NodeKind::EdgeSwitch, "e0");
+        let e1 = g.add_node(NodeKind::EdgeSwitch, "e1");
+        let x = g.add_node(NodeKind::CoreSwitch, "x");
+        let y = g.add_node(NodeKind::CoreSwitch, "y");
+        g.add_duplex_link(e0, x, 10.0);
+        g.add_duplex_link(x, e1, 10.0);
+        g.add_duplex_link(e0, y, 10.0);
+        g.add_duplex_link(y, e1, 10.0);
+        let s0 = g.add_node(NodeKind::Server, "s0");
+        let s1 = g.add_node(NodeKind::Server, "s1");
+        g.add_duplex_link(s0, e0, 10.0);
+        g.add_duplex_link(s1, e1, 10.0);
+        let flows = vec![spec(0, s0, s1, 1.25e9, 0.0)];
+        let mut plan = crate::faults::FaultPlan::new(1);
+        plan.switch_fault(x, 0.3, Some(0.7));
+        let sched = plan.compile(&g).expect("valid plan");
+        let cfg = SimConfig {
+            transport: Transport::Mptcp {
+                k: 2,
+                coupled: true,
+            },
+            ..SimConfig::default()
+        };
+        let out = simulate_under_faults(&g, &flows, &cfg, &sched).expect("valid input");
+        // NIC-limited to 10G throughout (y survives): finish at 1 s.
+        let fct = out.result.records[0].fct().expect("survives via y");
+        assert!((fct - 1.0).abs() < 1e-6, "fct = {fct}");
+        assert_eq!(out.audit.violations(), 0);
+        assert_eq!(out.audit.events_applied, 8); // 2 cables × 2 dirs × 2
     }
 
     /// Refactored engine vs the preserved pre-refactor engine: identical

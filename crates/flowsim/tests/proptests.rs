@@ -1,6 +1,6 @@
 //! Property tests for the fluid simulator.
 
-use flowsim::{simulate, FlowSpec, SimConfig, Transport};
+use flowsim::{simulate, FailedLinks, FaultPlan, FlowSpec, SimConfig, Transport};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -114,5 +114,86 @@ proptest! {
         };
         prop_assert!(makespan(&mptcp) <= makespan(&ecmp) * 1.10 + 1e-9,
             "mptcp {} vs ecmp {}", makespan(&mptcp), makespan(&ecmp));
+    }
+
+    /// `FailedLinks` under an arbitrary fail/recover sequence: the epoch
+    /// is monotone, bumps exactly on state transitions, and `count`
+    /// always matches a model `HashSet` of down links.
+    #[test]
+    fn failed_links_epoch_and_count_track_transitions(
+        ops in prop::collection::vec((0usize..12, prop::bool::ANY), 0..64),
+    ) {
+        let mut fl = FailedLinks::new(12);
+        let mut model = std::collections::HashSet::new();
+        let mut last_epoch = fl.epoch();
+        for (idx, fail) in ops {
+            let link = netgraph::LinkId(idx as u32);
+            let before = fl.epoch();
+            let changed = if fail { fl.fail(link) } else { fl.recover(link) };
+            let model_changed = if fail { model.insert(idx) } else { model.remove(&idx) };
+            prop_assert_eq!(changed, model_changed, "transition report diverged");
+            if changed {
+                prop_assert_eq!(fl.epoch(), before + 1, "transition must bump epoch once");
+            } else {
+                prop_assert_eq!(fl.epoch(), before, "no-op must not bump epoch");
+            }
+            prop_assert!(fl.epoch() >= last_epoch, "epoch must be monotone");
+            last_epoch = fl.epoch();
+            prop_assert_eq!(fl.count(), model.len(), "count diverged from model");
+            for i in 0..12 {
+                prop_assert_eq!(fl.is_down(netgraph::LinkId(i as u32)), model.contains(&i));
+            }
+        }
+        // Mass recovery drains everything in at most one epoch bump.
+        let before = fl.epoch();
+        let recovered = fl.set_all_up();
+        prop_assert_eq!(recovered, model.len());
+        prop_assert_eq!(fl.count(), 0);
+        prop_assert_eq!(fl.epoch(), if recovered > 0 { before + 1 } else { before });
+    }
+
+    /// A run where every injected flap recovers completes every flow:
+    /// parked connections must be revived, never silently dropped.
+    #[test]
+    fn all_flows_complete_when_every_flap_recovers(
+        n_flows in 1usize..12,
+        seed in any::<u64>(),
+        fraction in 0.0f64..0.4,
+    ) {
+        let net = mini_net();
+        let flows: Vec<FlowSpec> = random_flows(net.servers.len(), n_flows, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, d, bytes, start))| FlowSpec {
+                id: i as u64,
+                src: net.servers[s],
+                dst: net.servers[d],
+                bytes,
+                start,
+            })
+            .collect();
+        // One direction per cable so flaps cover distinct duplex links.
+        let cables: Vec<netgraph::LinkId> = net
+            .graph
+            .link_ids()
+            .filter(|&l| match net.graph.link(l).reverse {
+                Some(rev) => l.idx() < rev.idx(),
+                None => true,
+            })
+            .collect();
+        let mut plan = FaultPlan::new(seed);
+        plan.random_link_flaps(&cables, fraction, 0.3, (0.0, 1.0));
+        let sched = plan.compile(&net.graph).unwrap();
+        let out = flowsim::simulate_under_faults(&net.graph, &flows, &SimConfig::default(), &sched)
+            .expect("valid workload");
+        prop_assert_eq!(out.audit.violations(), 0, "auditor flagged: {:?}", out.audit);
+        for r in &out.result.records {
+            prop_assert!(r.finish.is_some(), "flow {} never finished: {:?}", r.id, out.audit);
+        }
+        // Determinism of the faulted path.
+        let again = flowsim::simulate_under_faults(&net.graph, &flows, &SimConfig::default(), &sched)
+            .expect("valid workload");
+        prop_assert_eq!(out.result.records, again.result.records);
+        prop_assert_eq!(out.audit, again.audit);
     }
 }

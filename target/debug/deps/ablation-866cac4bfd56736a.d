@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-866cac4bfd56736a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-866cac4bfd56736a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

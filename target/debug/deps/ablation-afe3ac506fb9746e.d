@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-afe3ac506fb9746e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-afe3ac506fb9746e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

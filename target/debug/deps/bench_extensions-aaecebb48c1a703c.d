@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_extensions-aaecebb48c1a703c.d: crates/bench/benches/bench_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_extensions-aaecebb48c1a703c.rmeta: crates/bench/benches/bench_extensions.rs Cargo.toml
+
+crates/bench/benches/bench_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig10-d40919f0fbe929b5.d: crates/bench/benches/bench_fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig10-d40919f0fbe929b5.rmeta: crates/bench/benches/bench_fig10.rs Cargo.toml
+
+crates/bench/benches/bench_fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig11-8985c1f2d914900c.d: crates/bench/benches/bench_fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig11-8985c1f2d914900c.rmeta: crates/bench/benches/bench_fig11.rs Cargo.toml
+
+crates/bench/benches/bench_fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig6-74eaad57cd31fc1c.d: crates/bench/benches/bench_fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig6-74eaad57cd31fc1c.rmeta: crates/bench/benches/bench_fig6.rs Cargo.toml
+
+crates/bench/benches/bench_fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

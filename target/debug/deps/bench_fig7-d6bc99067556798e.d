@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig7-d6bc99067556798e.d: crates/bench/benches/bench_fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig7-d6bc99067556798e.rmeta: crates/bench/benches/bench_fig7.rs Cargo.toml
+
+crates/bench/benches/bench_fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

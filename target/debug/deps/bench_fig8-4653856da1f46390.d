@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_fig8-4653856da1f46390.d: crates/bench/benches/bench_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_fig8-4653856da1f46390.rmeta: crates/bench/benches/bench_fig8.rs Cargo.toml
+
+crates/bench/benches/bench_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

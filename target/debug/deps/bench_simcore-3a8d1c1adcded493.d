@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_simcore-3a8d1c1adcded493.d: crates/bench/benches/bench_simcore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_simcore-3a8d1c1adcded493.rmeta: crates/bench/benches/bench_simcore.rs Cargo.toml
+
+crates/bench/benches/bench_simcore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_substrates-2ed48289dfc93615.d: crates/bench/benches/bench_substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_substrates-2ed48289dfc93615.rmeta: crates/bench/benches/bench_substrates.rs Cargo.toml
+
+crates/bench/benches/bench_substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

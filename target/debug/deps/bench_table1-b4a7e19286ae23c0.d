@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table1-b4a7e19286ae23c0.d: crates/bench/benches/bench_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table1-b4a7e19286ae23c0.rmeta: crates/bench/benches/bench_table1.rs Cargo.toml
+
+crates/bench/benches/bench_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

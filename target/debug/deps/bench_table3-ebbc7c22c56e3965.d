@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_table3-ebbc7c22c56e3965.d: crates/bench/benches/bench_table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_table3-ebbc7c22c56e3965.rmeta: crates/bench/benches/bench_table3.rs Cargo.toml
+
+crates/bench/benches/bench_table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

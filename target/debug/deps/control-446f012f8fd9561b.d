@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/control-446f012f8fd9561b.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+/root/repo/target/debug/deps/control-446f012f8fd9561b: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:
+crates/control/src/resilient.rs:

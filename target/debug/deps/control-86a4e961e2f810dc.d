@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/control-86a4e961e2f810dc.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrol-86a4e961e2f810dc.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs Cargo.toml
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:
+crates/control/src/resilient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/control-d800a5581f565797.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+/root/repo/target/debug/deps/libcontrol-d800a5581f565797.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+/root/repo/target/debug/deps/libcontrol-d800a5581f565797.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:
+crates/control/src/resilient.rs:

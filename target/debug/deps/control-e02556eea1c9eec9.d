@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/control-e02556eea1c9eec9.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrol-e02556eea1c9eec9.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs Cargo.toml
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:
+crates/control/src/resilient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

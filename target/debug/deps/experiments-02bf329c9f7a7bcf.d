@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-02bf329c9f7a7bcf.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-02bf329c9f7a7bcf: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-28604b27dd5f543c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-28604b27dd5f543c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-1b2a4d92ec9aa2b5.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/faultsweep-1b2a4d92ec9aa2b5: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

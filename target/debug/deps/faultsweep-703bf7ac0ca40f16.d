@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faultsweep-703bf7ac0ca40f16.d: crates/bench/src/bin/faultsweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaultsweep-703bf7ac0ca40f16.rmeta: crates/bench/src/bin/faultsweep.rs Cargo.toml
+
+crates/bench/src/bin/faultsweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

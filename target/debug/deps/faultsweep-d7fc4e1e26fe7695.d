@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faultsweep-d7fc4e1e26fe7695.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/debug/deps/faultsweep-d7fc4e1e26fe7695: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

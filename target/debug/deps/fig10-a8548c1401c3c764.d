@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-a8548c1401c3c764.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-a8548c1401c3c764: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c2d842f614fecd3f.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c2d842f614fecd3f: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-1cdd036683a79820.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-1cdd036683a79820: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-9508d4139cdc7473.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-9508d4139cdc7473: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

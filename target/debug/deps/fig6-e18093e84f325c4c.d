@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e18093e84f325c4c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e18093e84f325c4c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

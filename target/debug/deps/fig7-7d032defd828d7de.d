@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-7d032defd828d7de.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-7d032defd828d7de: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

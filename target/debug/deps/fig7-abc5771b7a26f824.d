@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-abc5771b7a26f824.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-abc5771b7a26f824: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

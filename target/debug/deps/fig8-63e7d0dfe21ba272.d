@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-63e7d0dfe21ba272.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-63e7d0dfe21ba272: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

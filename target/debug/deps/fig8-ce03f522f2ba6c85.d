@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-ce03f522f2ba6c85.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-ce03f522f2ba6c85: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/flowsim-691dd58e16c3185e.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+/root/repo/target/debug/deps/flowsim-691dd58e16c3185e.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
 
-/root/repo/target/debug/deps/flowsim-691dd58e16c3185e: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+/root/repo/target/debug/deps/flowsim-691dd58e16c3185e: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
 
 crates/flowsim/src/lib.rs:
 crates/flowsim/src/alloc.rs:
+crates/flowsim/src/error.rs:
 crates/flowsim/src/failures.rs:
+crates/flowsim/src/faults.rs:
 crates/flowsim/src/provider.rs:
 crates/flowsim/src/reference.rs:
 crates/flowsim/src/sim.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/flowsim-81950cb75b2fb7a2.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs Cargo.toml
+/root/repo/target/debug/deps/flowsim-81950cb75b2fb7a2.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs Cargo.toml
 
-/root/repo/target/debug/deps/libflowsim-81950cb75b2fb7a2.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/failures.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs Cargo.toml
+/root/repo/target/debug/deps/libflowsim-81950cb75b2fb7a2.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs Cargo.toml
 
 crates/flowsim/src/lib.rs:
 crates/flowsim/src/alloc.rs:
+crates/flowsim/src/error.rs:
 crates/flowsim/src/failures.rs:
+crates/flowsim/src/faults.rs:
 crates/flowsim/src/provider.rs:
 crates/flowsim/src/reference.rs:
 crates/flowsim/src/sim.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/flowsim-b4725aa3d824b2ab.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflowsim-b4725aa3d824b2ab.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs Cargo.toml
+
+crates/flowsim/src/lib.rs:
+crates/flowsim/src/alloc.rs:
+crates/flowsim/src/error.rs:
+crates/flowsim/src/failures.rs:
+crates/flowsim/src/faults.rs:
+crates/flowsim/src/provider.rs:
+crates/flowsim/src/reference.rs:
+crates/flowsim/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

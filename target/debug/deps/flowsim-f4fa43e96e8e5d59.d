@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flowsim-f4fa43e96e8e5d59.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/debug/deps/libflowsim-f4fa43e96e8e5d59.rlib: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/debug/deps/libflowsim-f4fa43e96e8e5d59.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+crates/flowsim/src/lib.rs:
+crates/flowsim/src/alloc.rs:
+crates/flowsim/src/error.rs:
+crates/flowsim/src/failures.rs:
+crates/flowsim/src/faults.rs:
+crates/flowsim/src/provider.rs:
+crates/flowsim/src/reference.rs:
+crates/flowsim/src/sim.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ft_bench-c94af021a97f8c00.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/faultsweep.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/hybrid.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/ft_bench-c94af021a97f8c00: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/faultsweep.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/hybrid.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/common.rs:
+crates/bench/src/experiments/faultsweep.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/hybrid.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/sweep.rs:

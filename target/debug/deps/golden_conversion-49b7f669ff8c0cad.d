@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_conversion-49b7f669ff8c0cad.d: crates/control/tests/golden_conversion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_conversion-49b7f669ff8c0cad.rmeta: crates/control/tests/golden_conversion.rs Cargo.toml
+
+crates/control/tests/golden_conversion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

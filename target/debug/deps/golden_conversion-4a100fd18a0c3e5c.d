@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_conversion-4a100fd18a0c3e5c.d: crates/control/tests/golden_conversion.rs
+
+/root/repo/target/debug/deps/golden_conversion-4a100fd18a0c3e5c: crates/control/tests/golden_conversion.rs
+
+crates/control/tests/golden_conversion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_simresult-3e175181dc6d5ee2.d: crates/bench/tests/golden_simresult.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_simresult-3e175181dc6d5ee2.rmeta: crates/bench/tests/golden_simresult.rs Cargo.toml
+
+crates/bench/tests/golden_simresult.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_simresult-87882fbd6a71be81.d: crates/bench/tests/golden_simresult.rs
+
+/root/repo/target/debug/deps/golden_simresult-87882fbd6a71be81: crates/bench/tests/golden_simresult.rs
+
+crates/bench/tests/golden_simresult.rs:

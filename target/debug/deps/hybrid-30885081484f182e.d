@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid-30885081484f182e.d: crates/bench/src/bin/hybrid.rs
+
+/root/repo/target/debug/deps/hybrid-30885081484f182e: crates/bench/src/bin/hybrid.rs
+
+crates/bench/src/bin/hybrid.rs:

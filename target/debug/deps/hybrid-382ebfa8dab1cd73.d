@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid-382ebfa8dab1cd73.d: crates/bench/src/bin/hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid-382ebfa8dab1cd73.rmeta: crates/bench/src/bin/hybrid.rs Cargo.toml
+
+crates/bench/src/bin/hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

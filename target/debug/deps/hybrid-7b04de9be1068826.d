@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid-7b04de9be1068826.d: crates/bench/src/bin/hybrid.rs
+
+/root/repo/target/debug/deps/hybrid-7b04de9be1068826: crates/bench/src/bin/hybrid.rs
+
+crates/bench/src/bin/hybrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid-a0eb0dc7eb951a7c.d: crates/bench/src/bin/hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid-a0eb0dc7eb951a7c.rmeta: crates/bench/src/bin/hybrid.rs Cargo.toml
+
+crates/bench/src/bin/hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_conversion-210d375a3efaf740.d: crates/bench/../../tests/integration_conversion.rs
+
+/root/repo/target/debug/deps/integration_conversion-210d375a3efaf740: crates/bench/../../tests/integration_conversion.rs
+
+crates/bench/../../tests/integration_conversion.rs:

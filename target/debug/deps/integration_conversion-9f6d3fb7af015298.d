@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_conversion-9f6d3fb7af015298.d: crates/bench/../../tests/integration_conversion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_conversion-9f6d3fb7af015298.rmeta: crates/bench/../../tests/integration_conversion.rs Cargo.toml
+
+crates/bench/../../tests/integration_conversion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_extensions-29435e01b8edfa55.d: crates/bench/../../tests/integration_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_extensions-29435e01b8edfa55.rmeta: crates/bench/../../tests/integration_extensions.rs Cargo.toml
+
+crates/bench/../../tests/integration_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-adefda6a77abc846.d: crates/bench/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-adefda6a77abc846: crates/bench/../../tests/integration_extensions.rs
+
+crates/bench/../../tests/integration_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_lp_sandwich-6a78e68515f37f64.d: crates/bench/../../tests/integration_lp_sandwich.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_lp_sandwich-6a78e68515f37f64.rmeta: crates/bench/../../tests/integration_lp_sandwich.rs Cargo.toml
+
+crates/bench/../../tests/integration_lp_sandwich.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

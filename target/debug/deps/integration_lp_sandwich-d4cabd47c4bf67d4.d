@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_lp_sandwich-d4cabd47c4bf67d4.d: crates/bench/../../tests/integration_lp_sandwich.rs
+
+/root/repo/target/debug/deps/integration_lp_sandwich-d4cabd47c4bf67d4: crates/bench/../../tests/integration_lp_sandwich.rs
+
+crates/bench/../../tests/integration_lp_sandwich.rs:

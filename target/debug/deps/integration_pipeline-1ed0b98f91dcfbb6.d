@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pipeline-1ed0b98f91dcfbb6.d: crates/bench/../../tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pipeline-1ed0b98f91dcfbb6.rmeta: crates/bench/../../tests/integration_pipeline.rs Cargo.toml
+
+crates/bench/../../tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-f8292b6ecd07d79a.d: crates/bench/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-f8292b6ecd07d79a: crates/bench/../../tests/integration_pipeline.rs
+
+crates/bench/../../tests/integration_pipeline.rs:

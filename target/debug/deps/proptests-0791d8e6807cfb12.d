@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0791d8e6807cfb12.d: crates/testbed/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0791d8e6807cfb12: crates/testbed/tests/proptests.rs
+
+crates/testbed/tests/proptests.rs:

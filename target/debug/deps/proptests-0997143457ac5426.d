@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0997143457ac5426.d: crates/flowsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0997143457ac5426.rmeta: crates/flowsim/tests/proptests.rs Cargo.toml
+
+crates/flowsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

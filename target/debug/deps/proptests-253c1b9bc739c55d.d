@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-253c1b9bc739c55d.d: crates/control/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-253c1b9bc739c55d: crates/control/tests/proptests.rs
+
+crates/control/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-355729dd619b1ef6.d: crates/flowsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-355729dd619b1ef6: crates/flowsim/tests/proptests.rs
+
+crates/flowsim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-84c1898d4dc1b316.d: crates/testbed/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-84c1898d4dc1b316.rmeta: crates/testbed/tests/proptests.rs Cargo.toml
+
+crates/testbed/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

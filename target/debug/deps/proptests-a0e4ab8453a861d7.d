@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a0e4ab8453a861d7.d: crates/control/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a0e4ab8453a861d7.rmeta: crates/control/tests/proptests.rs Cargo.toml
+
+crates/control/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-92a9a06aa89c47e6.d: crates/bench/src/bin/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-92a9a06aa89c47e6.rmeta: crates/bench/src/bin/resilience.rs Cargo.toml
+
+crates/bench/src/bin/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

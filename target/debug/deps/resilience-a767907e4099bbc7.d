@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-a767907e4099bbc7.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-a767907e4099bbc7: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-aa3cd058fd549616.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/debug/deps/resilience-aa3cd058fd549616: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/resilience-ee9bb1ca5f82bee4.d: crates/bench/src/bin/resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libresilience-ee9bb1ca5f82bee4.rmeta: crates/bench/src/bin/resilience.rs Cargo.toml
+
+crates/bench/src/bin/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-cc54cdfd2faa61a1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-cc54cdfd2faa61a1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-dbd6efb2395af959.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-dbd6efb2395af959: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

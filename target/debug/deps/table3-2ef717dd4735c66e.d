@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2ef717dd4735c66e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2ef717dd4735c66e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-864e1564348b073c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-864e1564348b073c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

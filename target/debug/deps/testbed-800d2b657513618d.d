@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/testbed-800d2b657513618d.d: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtestbed-800d2b657513618d.rmeta: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs Cargo.toml
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/apps.rs:
+crates/testbed/src/iperf.rs:
+crates/testbed/src/rig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/testbed-8ab313d07bf5a0d6.d: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/debug/deps/libtestbed-8ab313d07bf5a0d6.rlib: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/debug/deps/libtestbed-8ab313d07bf5a0d6.rmeta: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/apps.rs:
+crates/testbed/src/iperf.rs:
+crates/testbed/src/rig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topo-21fb30ac3105ac2b.d: crates/bench/src/bin/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-21fb30ac3105ac2b.rmeta: crates/bench/src/bin/topo.rs Cargo.toml
+
+crates/bench/src/bin/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topo-3aeca3be9d90ebee.d: crates/bench/src/bin/topo.rs
+
+/root/repo/target/debug/deps/topo-3aeca3be9d90ebee: crates/bench/src/bin/topo.rs
+
+crates/bench/src/bin/topo.rs:

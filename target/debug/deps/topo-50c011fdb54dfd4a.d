@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topo-50c011fdb54dfd4a.d: crates/bench/src/bin/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopo-50c011fdb54dfd4a.rmeta: crates/bench/src/bin/topo.rs Cargo.toml
+
+crates/bench/src/bin/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

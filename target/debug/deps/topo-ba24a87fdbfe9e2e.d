@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topo-ba24a87fdbfe9e2e.d: crates/bench/src/bin/topo.rs
+
+/root/repo/target/debug/deps/topo-ba24a87fdbfe9e2e: crates/bench/src/bin/topo.rs
+
+crates/bench/src/bin/topo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/convert_topology-87305b37e814d1ac.d: crates/bench/../../examples/convert_topology.rs
+
+/root/repo/target/debug/examples/convert_topology-87305b37e814d1ac: crates/bench/../../examples/convert_topology.rs
+
+crates/bench/../../examples/convert_topology.rs:

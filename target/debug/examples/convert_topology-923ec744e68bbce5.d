@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/convert_topology-923ec744e68bbce5.d: crates/bench/../../examples/convert_topology.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconvert_topology-923ec744e68bbce5.rmeta: crates/bench/../../examples/convert_topology.rs Cargo.toml
+
+crates/bench/../../examples/convert_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter_traces-6506e8e2435964de.d: crates/bench/../../examples/datacenter_traces.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter_traces-6506e8e2435964de.rmeta: crates/bench/../../examples/datacenter_traces.rs Cargo.toml
+
+crates/bench/../../examples/datacenter_traces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter_traces-e731b8d1da6e7117.d: crates/bench/../../examples/datacenter_traces.rs
+
+/root/repo/target/debug/examples/datacenter_traces-e731b8d1da6e7117: crates/bench/../../examples/datacenter_traces.rs
+
+crates/bench/../../examples/datacenter_traces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_zones-4b7ac094c5efebe2.d: crates/bench/../../examples/hybrid_zones.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_zones-4b7ac094c5efebe2.rmeta: crates/bench/../../examples/hybrid_zones.rs Cargo.toml
+
+crates/bench/../../examples/hybrid_zones.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_zones-a833026fdc8f0e2b.d: crates/bench/../../examples/hybrid_zones.rs
+
+/root/repo/target/debug/examples/hybrid_zones-a833026fdc8f0e2b: crates/bench/../../examples/hybrid_zones.rs
+
+crates/bench/../../examples/hybrid_zones.rs:

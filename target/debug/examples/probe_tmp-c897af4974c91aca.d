@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_tmp-c897af4974c91aca.d: crates/bench/examples/probe_tmp.rs
+
+/root/repo/target/debug/examples/probe_tmp-c897af4974c91aca: crates/bench/examples/probe_tmp.rs
+
+crates/bench/examples/probe_tmp.rs:

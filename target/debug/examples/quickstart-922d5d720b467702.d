@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-922d5d720b467702.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-922d5d720b467702: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

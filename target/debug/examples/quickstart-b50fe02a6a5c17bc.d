@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b50fe02a6a5c17bc.d: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b50fe02a6a5c17bc.rmeta: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

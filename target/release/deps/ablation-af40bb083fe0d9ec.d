@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-af40bb083fe0d9ec.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-af40bb083fe0d9ec: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

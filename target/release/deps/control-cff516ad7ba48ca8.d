@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/control-cff516ad7ba48ca8.d: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+/root/repo/target/release/deps/libcontrol-cff516ad7ba48ca8.rlib: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+/root/repo/target/release/deps/libcontrol-cff516ad7ba48ca8.rmeta: crates/control/src/lib.rs crates/control/src/controller.rs crates/control/src/conversion.rs crates/control/src/distributed.rs crates/control/src/resilient.rs
+
+crates/control/src/lib.rs:
+crates/control/src/controller.rs:
+crates/control/src/conversion.rs:
+crates/control/src/distributed.rs:
+crates/control/src/resilient.rs:

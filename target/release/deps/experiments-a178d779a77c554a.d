@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-a178d779a77c554a.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-a178d779a77c554a: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

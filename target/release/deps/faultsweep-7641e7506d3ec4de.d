@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faultsweep-7641e7506d3ec4de.d: crates/bench/src/bin/faultsweep.rs
+
+/root/repo/target/release/deps/faultsweep-7641e7506d3ec4de: crates/bench/src/bin/faultsweep.rs
+
+crates/bench/src/bin/faultsweep.rs:

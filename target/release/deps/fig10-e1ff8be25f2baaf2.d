@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-e1ff8be25f2baaf2.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-e1ff8be25f2baaf2: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

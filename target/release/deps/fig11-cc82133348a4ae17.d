@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-cc82133348a4ae17.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-cc82133348a4ae17: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

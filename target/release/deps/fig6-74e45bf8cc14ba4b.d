@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-74e45bf8cc14ba4b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-74e45bf8cc14ba4b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

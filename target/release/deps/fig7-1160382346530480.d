@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-1160382346530480.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-1160382346530480: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c4ee3c704fd6adef.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-c4ee3c704fd6adef: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flowsim-2326b3428071ed54.d: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/release/deps/libflowsim-2326b3428071ed54.rlib: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+/root/repo/target/release/deps/libflowsim-2326b3428071ed54.rmeta: crates/flowsim/src/lib.rs crates/flowsim/src/alloc.rs crates/flowsim/src/error.rs crates/flowsim/src/failures.rs crates/flowsim/src/faults.rs crates/flowsim/src/provider.rs crates/flowsim/src/reference.rs crates/flowsim/src/sim.rs
+
+crates/flowsim/src/lib.rs:
+crates/flowsim/src/alloc.rs:
+crates/flowsim/src/error.rs:
+crates/flowsim/src/failures.rs:
+crates/flowsim/src/faults.rs:
+crates/flowsim/src/provider.rs:
+crates/flowsim/src/reference.rs:
+crates/flowsim/src/sim.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/ft_bench-2e5ee365d7d0ac4a.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/faultsweep.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/hybrid.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libft_bench-2e5ee365d7d0ac4a.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/faultsweep.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/hybrid.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libft_bench-2e5ee365d7d0ac4a.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/common.rs crates/bench/src/experiments/faultsweep.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/hybrid.rs crates/bench/src/experiments/resilience.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table3.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/common.rs:
+crates/bench/src/experiments/faultsweep.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/hybrid.rs:
+crates/bench/src/experiments/resilience.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hybrid-00e0aab6e728eb3a.d: crates/bench/src/bin/hybrid.rs
+
+/root/repo/target/release/deps/hybrid-00e0aab6e728eb3a: crates/bench/src/bin/hybrid.rs
+
+crates/bench/src/bin/hybrid.rs:

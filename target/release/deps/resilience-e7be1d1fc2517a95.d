@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience-e7be1d1fc2517a95.d: crates/bench/src/bin/resilience.rs
+
+/root/repo/target/release/deps/resilience-e7be1d1fc2517a95: crates/bench/src/bin/resilience.rs
+
+crates/bench/src/bin/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d3fdfd7335a6bd79.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d3fdfd7335a6bd79: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

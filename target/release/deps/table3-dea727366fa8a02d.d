@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-dea727366fa8a02d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-dea727366fa8a02d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

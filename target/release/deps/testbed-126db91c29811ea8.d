@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/testbed-126db91c29811ea8.d: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/release/deps/libtestbed-126db91c29811ea8.rlib: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+/root/repo/target/release/deps/libtestbed-126db91c29811ea8.rmeta: crates/testbed/src/lib.rs crates/testbed/src/apps.rs crates/testbed/src/iperf.rs crates/testbed/src/rig.rs
+
+crates/testbed/src/lib.rs:
+crates/testbed/src/apps.rs:
+crates/testbed/src/iperf.rs:
+crates/testbed/src/rig.rs:

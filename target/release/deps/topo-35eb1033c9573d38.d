@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topo-35eb1033c9573d38.d: crates/bench/src/bin/topo.rs
+
+/root/repo/target/release/deps/topo-35eb1033c9573d38: crates/bench/src/bin/topo.rs
+
+crates/bench/src/bin/topo.rs:

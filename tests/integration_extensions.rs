@@ -1,7 +1,7 @@
 //! Integration coverage of the extension experiments: resilience,
-//! hybrid zones, and the design ablations.
+//! the fault sweep, hybrid zones, and the design ablations.
 
-use ft_bench::experiments::{ablation, hybrid, resilience};
+use ft_bench::experiments::{ablation, faultsweep, hybrid, resilience};
 use ft_bench::Scale;
 
 #[test]
@@ -85,5 +85,42 @@ fn ablation_pattern1_wins_path_length_and_profiling_is_sane() {
         "profiling rule drifted: APL pick {} Gbps vs best {} Gbps",
         apl_best.permutation_gbps,
         thr_best.permutation_gbps
+    );
+}
+
+#[test]
+fn faultsweep_smoke_is_clean_and_deterministic() {
+    // Smoke scale runs in seconds even unoptimized, so this is not
+    // gated on --release like the full-pipeline tests above.
+    let scale = Scale {
+        smoke: true,
+        ..Scale::default()
+    };
+    let a = faultsweep::run(scale);
+    // The invariant auditor must be silent on every cell.
+    assert_eq!(faultsweep::total_violations(&a), 0);
+    // Fault-free cells exist for every mode and anchor the stretch at 1.
+    for mode in ["clos", "local", "global", "hybrid"] {
+        let base = a
+            .degradation
+            .iter()
+            .find(|p| p.mode == mode && p.fault_fraction == 0.0)
+            .unwrap_or_else(|| panic!("no fault-free cell for {mode}"));
+        assert_eq!(base.fct_stretch, 1.0);
+        assert_eq!(base.completed, 1.0);
+        assert_eq!(base.min_connected, 1.0);
+    }
+    // Every injected flap recovers, so everything completes eventually.
+    assert!(a.degradation.iter().all(|p| p.completed == 1.0));
+    // The conversion table covers commit, retry, and rollback paths.
+    assert!(a.conversion.iter().any(|c| c.status == "committed"));
+    assert!(a.conversion.iter().any(|c| c.status == "rolledback"));
+    assert!(a.conversion.iter().any(|c| c.retries > 0));
+    // Same seed, same everything (the sweep driver's order guarantee
+    // plus seeded fault streams).
+    let b = faultsweep::run(scale);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
     );
 }
