@@ -21,17 +21,17 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             yen::k_shortest_paths_by(g, s, d, 8, |l| if l == dead { f64::INFINITY } else { 1.0 })
                 .len()
-        })
+        });
     });
 
     // Hybrid zones, full pipeline at mini scale.
     c.bench_function("extensions/hybrid_zones", |b| {
-        b.iter(|| hybrid::run(Scale::bench()).len())
+        b.iter(|| hybrid::run(Scale::bench()).len());
     });
 
     // Profiling sweep (the §3.4 knob) on the mini layout.
     c.bench_function("extensions/profile_mn_mini", |b| {
-        b.iter(|| flat_tree::profile::profile_mn(&ClosParams::mini()).len())
+        b.iter(|| flat_tree::profile::profile_mn(&ClosParams::mini()).len());
     });
 
     // Failure-injection instantiation.
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
                 .net
                 .graph
                 .link_count()
-        })
+        });
     });
 }
 

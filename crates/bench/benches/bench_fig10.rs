@@ -9,12 +9,12 @@ use testbed::TestbedRig;
 fn bench(c: &mut Criterion) {
     let rig = TestbedRig::new();
     c.bench_function("fig10/steady_state_global_k4", |b| {
-        b.iter(|| steady_state_gbps_with_k(&rig, PodMode::Global, 4))
+        b.iter(|| steady_state_gbps_with_k(&rig, PodMode::Global, 4));
     });
     c.bench_function("fig10/full_timeline", |b| {
         let mut p = IperfParams::paper_timeline();
         p.duration_s = 130.0;
-        b.iter(|| run(&rig, &p).samples.len())
+        b.iter(|| run(&rig, &p).samples.len());
     });
 }
 

@@ -10,10 +10,10 @@ fn bench(c: &mut Criterion) {
     let rig = TestbedRig::new();
     let p = AppParams::default_testbed();
     c.bench_function("fig11/spark_broadcast_global", |b| {
-        b.iter(|| spark_broadcast(&rig, PodMode::Global, &p).phase_s)
+        b.iter(|| spark_broadcast(&rig, PodMode::Global, &p).phase_s);
     });
     c.bench_function("fig11/hadoop_shuffle_clos", |b| {
-        b.iter(|| hadoop_shuffle(&rig, PodMode::Clos, &p).phase_s)
+        b.iter(|| hadoop_shuffle(&rig, PodMode::Clos, &p).phase_s);
     });
 }
 

@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let rates = common::mptcp_rates(&inst.net, &pairs, 8);
             summary(&rates)
-        })
+        });
     });
 }
 

@@ -39,10 +39,10 @@ fn bench(c: &mut Criterion) {
                 },
             )
             .mean_fct()
-        })
+        });
     });
     c.bench_function("fig8/trace_synthesis", |b| {
-        b.iter(|| params.generate().flows.len())
+        b.iter(|| params.generate().flows.len());
     });
 }
 

@@ -72,16 +72,16 @@ fn bench(c: &mut Criterion) {
             ..cfg.clone()
         };
         c.bench_function(&format!("simcore/engine_{tname}"), |b| {
-            b.iter(|| simulate(&net.graph, &flows, &cfg).end_time)
+            b.iter(|| simulate(&net.graph, &flows, &cfg).end_time);
         });
         c.bench_function(&format!("simcore/reference_{tname}"), |b| {
-            b.iter(|| simulate_reference(&net.graph, &flows, &cfg).end_time)
+            b.iter(|| simulate_reference(&net.graph, &flows, &cfg).end_time);
         });
         c.bench_function(&format!("simcore/engine_{tname}_failure"), |b| {
-            b.iter(|| simulate(&net.graph, &flows, &cfg_fail).end_time)
+            b.iter(|| simulate(&net.graph, &flows, &cfg_fail).end_time);
         });
         c.bench_function(&format!("simcore/reference_{tname}_failure"), |b| {
-            b.iter(|| simulate_reference(&net.graph, &flows, &cfg_fail).end_time)
+            b.iter(|| simulate_reference(&net.graph, &flows, &cfg_fail).end_time);
         });
     }
 }

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     let s0 = clos.net.servers[0];
     let s63 = clos.net.servers[63];
     c.bench_function("substrates/yen_k8_mini_clos", |b| {
-        b.iter(|| netgraph::yen::k_shortest_paths(g, s0, s63, 8).len())
+        b.iter(|| netgraph::yen::k_shortest_paths(g, s0, s63, 8).len());
     });
 
     // Water filling with 2048 random entities over 256 links.
@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("substrates/water_filling_2048x256", |b| {
-        b.iter(|| weighted_max_min(&caps, &entities))
+        b.iter(|| weighted_max_min(&caps, &entities));
     });
 
     // Flat-tree instantiation (all three modes).
@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
                 }
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 
     // Ablation: wiring pattern 1 vs 2 — average path length of global
@@ -70,7 +70,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let inst = ft.instantiate(&ModeAssignment::uniform(4, PodMode::Global));
                 netgraph::metrics::avg_server_path_length(&inst.net.graph)
-            })
+            });
         });
     }
 }

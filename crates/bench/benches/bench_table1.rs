@@ -13,10 +13,10 @@ fn bench(c: &mut Criterion) {
     let pairs = sample_peers(clustered_all_to_all(64, 8), 4, 1);
     let coms = common::commodities(&net, &pairs, 10.0);
     c.bench_function("table1/max_concurrent_flow_mini", |b| {
-        b.iter(|| max_concurrent_flow(&net.graph, &coms, 0.2).lambda)
+        b.iter(|| max_concurrent_flow(&net.graph, &coms, 0.2).lambda);
     });
     c.bench_function("table1/device_equivalent_rg_build", |b| {
-        b.iter(|| RandomGraphParams::from_clos(&clos, 1).build().num_servers())
+        b.iter(|| RandomGraphParams::from_clos(&clos, 1).build().num_servers());
     });
 }
 

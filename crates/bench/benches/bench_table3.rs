@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                     .total_sequential_ms();
             }
             total
-        })
+        });
     });
 }
 

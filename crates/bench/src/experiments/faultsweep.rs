@@ -109,7 +109,7 @@ fn cables(g: &Graph) -> Vec<LinkId> {
             let info = g.link(l);
             g.node(info.src).kind.is_switch()
                 && g.node(info.dst).kind.is_switch()
-                && info.reverse.map(|r| r.0 > l.0).unwrap_or(true)
+                && info.reverse.is_none_or(|r| r.0 > l.0)
         })
         .collect()
 }

@@ -69,9 +69,7 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     sweep_with_threads(items, threads, job)
 }
 

@@ -55,7 +55,7 @@ fn engines_agree_bit_for_bit_on_golden_scenario() {
         assert_eq!(a.bytes.to_bits(), b.bytes.to_bits(), "flow {}", a.id);
         match (a.finish, b.finish) {
             (Some(x), Some(y)) => {
-                assert_eq!(x.to_bits(), y.to_bits(), "flow {} finish", a.id)
+                assert_eq!(x.to_bits(), y.to_bits(), "flow {} finish", a.id);
             }
             (None, None) => {}
             _ => panic!(

@@ -108,6 +108,18 @@ impl Controller {
             .filter(|(a, b)| a != b)
             .count();
         let diff = old.rules.diff(&new.rules);
+        #[cfg(feature = "strict-invariants")]
+        {
+            let v = flat_tree::invariants::conversion_delta_violations(
+                &self.ft,
+                &old.instance,
+                &new.instance,
+            );
+            debug_assert!(
+                v.is_empty(),
+                "conversion touches non-converter links: {v:?}"
+            );
+        }
         *self.current.write() = to.clone();
         ConversionReport {
             from: from.label(),
@@ -163,6 +175,19 @@ impl Controller {
                 .collect(),
             delay: self.delay,
         };
+        #[cfg(feature = "strict-invariants")]
+        {
+            let diff = old.rules.diff(&new.rules);
+            let (d, a) = work
+                .per_switch
+                .iter()
+                .fold((0, 0), |(d, a), &(pd, pa)| (d + pd, a + pa));
+            debug_assert_eq!(
+                (d, a),
+                (diff.deletes, diff.adds),
+                "stage plan does not cover exactly the rule delta"
+            );
+        }
         let outcome = run_conversion(&work, &from.label(), &to.label(), policy, faults)?;
         if outcome.status == ConversionStatus::Committed {
             *self.current.write() = to.clone();

@@ -230,7 +230,7 @@ impl FlatTree {
                 debug_assert!(false, "flat-tree instance invalid: {e}");
             }
         }
-        FlatTreeInstance {
+        let inst = FlatTreeInstance {
             net,
             assignment: assignment.clone(),
             configs,
@@ -238,7 +238,16 @@ impl FlatTree {
             pod_edges,
             pod_aggs,
             edge_servers,
+        };
+        #[cfg(feature = "strict-invariants")]
+        {
+            let violations = crate::invariants::all_violations(self, &inst);
+            debug_assert!(
+                violations.is_empty(),
+                "flat-tree instance violates structural invariants: {violations:?}"
+            );
         }
+        inst
     }
 }
 

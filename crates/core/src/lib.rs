@@ -45,6 +45,7 @@
 pub mod build;
 pub mod converter;
 pub mod interpod;
+pub mod invariants;
 pub mod layout;
 pub mod modes;
 pub mod multistage;

@@ -33,7 +33,7 @@
 //! are a dense [`failures::FailedLinks`] set whose *epoch* invalidates
 //! the provider's route cache, and rate allocation reuses one
 //! [`mcf::AllocWorkspace`] across events. The pre-refactor engine is
-//! preserved in [`reference`] as the behavioral oracle: both engines
+//! preserved in [`mod@reference`] as the behavioral oracle: both engines
 //! produce bit-identical [`SimResult`]s.
 
 //!

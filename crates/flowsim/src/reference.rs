@@ -198,7 +198,7 @@ pub fn simulate_reference(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> Sim
         }
         if failed_now {
             // Re-route connections that lost a subflow.
-            for a in active.iter_mut() {
+            for a in &mut active {
                 let hit = a
                     .conn
                     .paths

@@ -3,7 +3,7 @@
 //! The engine works on interned paths ([`netgraph::PathArena`]): active
 //! connections hold `PathId`s, rate allocation runs on a reusable
 //! [`mcf::AllocWorkspace`], failures live in a dense
-//! [`FailedLinks`](crate::failures::FailedLinks) set, and routing goes
+//! [`FailedLinks`] set, and routing goes
 //! through a [`PathProvider`] whose cache is invalidated by failure
 //! epoch. The produced [`SimResult`] is bit-identical to the
 //! pre-refactor engine (kept as
@@ -519,7 +519,7 @@ fn run_engine<P: PathProvider + ?Sized>(
             // Graceful re-convergence: refresh every active connection
             // onto the provider's routes for the healed network, then
             // revive whatever parked connections can route again.
-            for a in active.iter_mut() {
+            for a in &mut active {
                 let spec = a.spec;
                 if let Some(conn) = provider.route(g, &mut arena, &failed, &spec) {
                     a.path_ids = conn.path_ids;
@@ -546,7 +546,7 @@ fn run_engine<P: PathProvider + ?Sized>(
             parked = still_parked;
         } else if failed_now {
             // Re-route connections that lost a subflow.
-            for a in active.iter_mut() {
+            for a in &mut active {
                 let hit = a
                     .path_ids
                     .iter()

@@ -30,9 +30,8 @@ pub fn max_total_flow(g: &Graph, commodities: &[Commodity]) -> Vec<f64> {
         .iter()
         .enumerate()
         .map(|(i, c)| {
-            let len = shortest_path_by(g, c.src, c.dst, |_| 1.0)
-                .map(|(_, p)| p.len())
-                .unwrap_or(usize::MAX);
+            let len =
+                shortest_path_by(g, c.src, c.dst, |_| 1.0).map_or(usize::MAX, |(_, p)| p.len());
             (len, i)
         })
         .collect();

@@ -125,7 +125,7 @@ where
             debug_assert!(w >= 0.0, "negative link length");
             let cand = cost + w;
             let better = cand < dist[v.idx()]
-                || (cand == dist[v.idx()] && prev[v.idx()].map(|(p, _)| u < p).unwrap_or(false));
+                || (cand == dist[v.idx()] && prev[v.idx()].is_some_and(|(p, _)| u < p));
             if better && !done[v.idx()] {
                 dist[v.idx()] = cand;
                 prev[v.idx()] = Some((u, l));

@@ -40,11 +40,13 @@
 //! ```
 
 pub mod arena;
+pub mod components;
 pub mod dijkstra;
 pub mod dot;
 pub mod ecmp;
 pub mod graph;
 pub mod metrics;
+pub mod mincut;
 pub mod path;
 pub mod yen;
 

@@ -108,7 +108,16 @@ where
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| pa.nodes.cmp(&pb.nodes))
     });
-    selected.into_iter().map(|(_, p)| p).collect()
+    let paths: Vec<Path> = selected.into_iter().map(|(_, p)| p).collect();
+    #[cfg(feature = "strict-invariants")]
+    for p in &paths {
+        debug_assert!(
+            p.validate(g).is_ok(),
+            "yen produced an invalid path: {:?}",
+            p.validate(g)
+        );
+    }
+    paths
 }
 
 #[cfg(test)]

@@ -55,7 +55,8 @@ impl RouteTable {
         }
         let up = g.find_link(src, si).expect("src uplink");
         let down = g.find_link(di, dst).expect("dst downlink");
-        self.switch_paths(g, si, di)
+        let paths: Vec<Path> = self
+            .switch_paths(g, si, di)
             .iter()
             .map(|sp| {
                 let mut nodes = Vec::with_capacity(sp.nodes.len() + 2);
@@ -68,7 +69,16 @@ impl RouteTable {
                 links.push(down);
                 Path { nodes, links }
             })
-            .collect()
+            .collect();
+        #[cfg(feature = "strict-invariants")]
+        for p in &paths {
+            debug_assert!(
+                p.validate(g).is_ok(),
+                "spliced server path is invalid: {:?}",
+                p.validate(g)
+            );
+        }
+        paths
     }
 
     /// Number of cached switch pairs (diagnostics).

@@ -82,7 +82,7 @@ impl RuleSet {
 
     /// Rules at one switch.
     pub fn count_at(&self, sw: NodeId) -> usize {
-        self.per_switch.get(&sw).map(|s| s.len()).unwrap_or(0)
+        self.per_switch.get(&sw).map_or(0, |s| s.len())
     }
 
     /// `(deletions, additions)` needed to convert `self` into `to`.
@@ -178,6 +178,11 @@ pub fn compile_ip_rules(g: &Graph, k: usize, mode: TopologyModeId) -> RuleSet {
                 continue;
             }
             let paths = rt.switch_paths(g, a, b).to_vec();
+            #[cfg(feature = "strict-invariants")]
+            debug_assert!(
+                !paths.is_empty(),
+                "ingress pair {a:?} -> {b:?} has no path: blackhole at compile time"
+            );
             for (pid, path) in paths.iter().enumerate() {
                 for i in 0..path.nodes.len() - 1 {
                     let sw = path.nodes[i];

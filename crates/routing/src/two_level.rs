@@ -168,8 +168,7 @@ impl TwoLevelRouting {
     /// Total table entries per switch — the state-cost comparison against
     /// k-shortest-path rules.
     pub fn entries_at(&self, sw: NodeId) -> usize {
-        self.down.get(&sw).map(|t| t.len()).unwrap_or(0)
-            + self.up.get(&sw).map(|u| u.len()).unwrap_or(0)
+        self.down.get(&sw).map_or(0, |t| t.len()) + self.up.get(&sw).map_or(0, |u| u.len())
     }
 }
 

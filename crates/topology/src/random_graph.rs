@@ -246,20 +246,19 @@ pub(crate) fn random_matching(free: &mut [usize], rng: &mut ChaCha8Rng) -> Vec<(
                 free[u] -= 2;
                 swap_done = true;
                 break;
-            } else {
-                // free[u] == 1: rewire one end only; y gets a free port back
-                // and the loop continues.
-                adj[x].remove(&y);
-                adj[y].remove(&x);
-                links.swap_remove(li);
-                adj[u].insert(x);
-                adj[x].insert(u);
-                links.push((u, x));
-                free[u] -= 1;
-                free[y] += 1;
-                swap_done = true;
-                break;
             }
+            // free[u] == 1: rewire one end only; y gets a free port back
+            // and the loop continues.
+            adj[x].remove(&y);
+            adj[y].remove(&x);
+            links.swap_remove(li);
+            adj[u].insert(x);
+            adj[x].insert(u);
+            links.push((u, x));
+            free[u] -= 1;
+            free[y] += 1;
+            swap_done = true;
+            break;
         }
         if !swap_done {
             break; // degenerate instance (e.g. clique saturated); leave dark

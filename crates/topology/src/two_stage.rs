@@ -270,7 +270,7 @@ mod tests {
         for l in g.link_ids() {
             let i = g.link(l);
             // Count each duplex cable once (forward direction only).
-            if i.reverse.map(|r| r.0 > l.0).unwrap_or(false) {
+            if i.reverse.is_some_and(|r| r.0 > l.0) {
                 let sk = g.node(i.src).kind;
                 let dk = g.node(i.dst).kind;
                 let core_end = sk == NodeKind::CoreSwitch || dk == NodeKind::CoreSwitch;

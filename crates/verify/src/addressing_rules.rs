@@ -1,0 +1,93 @@
+//! Addressing rules (`FT-Axxx`): the §4.1 MPTCP address plan.
+//!
+//! Builds the deployment-time [`AddressPlan`] across all three mode ids
+//! and checks global uniqueness of the encoded IPv4 addresses, the
+//! Figure 5a field widths, the per-server address count
+//! (`ceil(sqrt(k))` per mode), and the per-switch /24 aggregation that
+//! ingress prefix rules rely on.
+
+use crate::diag::{Finding, RuleCode};
+use flat_tree::FlatTreeInstance;
+use routing::addressing::{
+    addresses_for_k, verify_prefix_aggregation, AddressPlan, TopologyModeId,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// The full addressing battery over one instance per mode id.
+pub fn check(instances: &[(TopologyModeId, &FlatTreeInstance)], k: usize) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Width preflight: the plan builder asserts on overflow, so emit
+    // findings (instead of panicking) for anything out of range.
+    for (mode, inst) in instances {
+        for &s in &inst.net.servers {
+            let sw = inst.ingress_switch(s);
+            if sw.0 >= 1 << 13 {
+                out.push(Finding::new(
+                    RuleCode::AddressWidth,
+                    inst.net.graph.node(sw).label.clone(),
+                    format!("switch id {} exceeds the 13-bit field ({mode:?})", sw.0),
+                ));
+            }
+        }
+        for (e, servers) in inst.edge_servers.iter().enumerate() {
+            if servers.len() >= 64 {
+                out.push(Finding::new(
+                    RuleCode::AddressWidth,
+                    format!("edge {e}"),
+                    format!("{} servers exceed the 6-bit server field", servers.len()),
+                ));
+            }
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    let k_per_mode: HashMap<TopologyModeId, usize> =
+        TopologyModeId::ALL.iter().map(|&m| (m, k)).collect();
+    let plan = AddressPlan::build(instances, &k_per_mode);
+    let per_mode = addresses_for_k(k);
+
+    // FT-A001: no two (server, mode, path) tuples may encode to the same
+    // IPv4 address anywhere in the deployment.
+    let mut seen: BTreeMap<Ipv4Addr, String> = BTreeMap::new();
+    // Deterministic iteration: servers in id order.
+    let mut servers: Vec<_> = plan.server_addrs.iter().collect();
+    servers.sort_by_key(|(s, _)| **s);
+    for (server, addrs) in servers {
+        for a in addrs {
+            let ip = a.encode();
+            let owner = format!("server {} {:?} path {}", server.0, a.mode, a.path_id);
+            if let Some(prev) = seen.insert(ip, owner.clone()) {
+                out.push(Finding::new(
+                    RuleCode::AddressUnique,
+                    owner,
+                    format!("address {ip} already assigned to {prev}"),
+                ));
+            }
+        }
+        // FT-A003: exactly ceil(sqrt(k)) addresses per configured mode.
+        for &(mode, _) in instances {
+            let got = addrs.iter().filter(|a| a.mode == mode).count();
+            if got != per_mode {
+                out.push(Finding::new(
+                    RuleCode::AddressWidth,
+                    format!("server {}", server.0),
+                    format!("{got} addresses for {mode:?}, need {per_mode} for k = {k}"),
+                ));
+            }
+        }
+    }
+
+    // FT-A002: per-switch /24 aggregation in every mode.
+    for (mode, inst) in instances {
+        if let Err(e) = verify_prefix_aggregation(&inst.net.graph, &plan, *mode) {
+            out.push(Finding::new(
+                RuleCode::PrefixAggregation,
+                format!("{mode:?}"),
+                e,
+            ));
+        }
+    }
+    out
+}

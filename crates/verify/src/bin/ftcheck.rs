@@ -1,0 +1,79 @@
+//! `ftcheck` — static invariant verification over the (topology × check)
+//! grid. See EXPERIMENTS.md.
+//!
+//! Exits non-zero if any rule fires, so CI catches wiring, routing,
+//! conversion, and addressing regressions before they surface as
+//! silently-wrong experiment numbers.
+
+use ft_bench::Scale;
+use verify::battery;
+use verify::Corruption;
+
+struct Args {
+    scale: Scale,
+    inject: Option<Corruption>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ftcheck [--smoke] [--full] [--seed <u64>] [--json] [--inject <name>]\n\
+         corruptions: {}",
+        Corruption::ALL
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2)
+}
+
+/// Parses the `ftcheck` CLI. The battery accepts everything
+/// [`Scale::from_args`] does plus `--inject <corruption>`, so it needs
+/// its own parser rather than the panicking shared one.
+fn parse_args() -> Args {
+    let mut scale = Scale::default();
+    let mut inject = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--full" => scale.full = true,
+            "--smoke" => scale.smoke = true,
+            "--json" => scale.json = true,
+            "--seed" => {
+                i += 1;
+                match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => scale.seed = s,
+                    None => usage(),
+                }
+            }
+            "--inject" => {
+                i += 1;
+                match argv.get(i).map(|v| Corruption::from_name(v)) {
+                    Some(Some(c)) => inject = Some(c),
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    Args { scale, inject }
+}
+
+fn main() {
+    let args = parse_args();
+    let report = battery::run(&args.scale, args.inject);
+    print!("{}", battery::render(&report));
+    if args.scale.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        );
+    }
+    let total = report.total_findings();
+    if total > 0 {
+        eprintln!("ftcheck: {total} findings");
+        std::process::exit(1);
+    }
+}

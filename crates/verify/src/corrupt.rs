@@ -1,0 +1,101 @@
+//! Corruption injection for negative testing.
+//!
+//! Each corruption plants one realistic defect into an otherwise clean
+//! artifact; the battery must flag it with the documented rule code.
+//! CI runs `ftcheck --smoke --inject <name>` for every variant and
+//! requires a non-zero exit.
+
+use crate::diag::RuleCode;
+use flat_tree::FlatTreeInstance;
+
+/// A plantable defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Plug a side cable between two non-adjacent pods, as a technician
+    /// swapping two trunk cables would.
+    SwapSideLink,
+    /// Land one extra cable on a converter's core, exceeding the §3.1
+    /// port budget.
+    OverloadPort,
+    /// Drop the k-shortest-path set of the first switch pair, as a
+    /// truncated rule download would.
+    TruncatePaths,
+}
+
+impl Corruption {
+    /// Every variant, in CLI order.
+    pub const ALL: [Corruption; 3] = [
+        Corruption::SwapSideLink,
+        Corruption::OverloadPort,
+        Corruption::TruncatePaths,
+    ];
+
+    /// The `--inject` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corruption::SwapSideLink => "swap-side-link",
+            Corruption::OverloadPort => "overload-port",
+            Corruption::TruncatePaths => "truncate-paths",
+        }
+    }
+
+    /// Parses the `--inject` spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// The rule code the battery must report for this corruption.
+    pub fn expected_code(self) -> RuleCode {
+        match self {
+            Corruption::SwapSideLink => RuleCode::SideWiring,
+            Corruption::OverloadPort => RuleCode::PortBudget,
+            Corruption::TruncatePaths => RuleCode::Blackhole,
+        }
+    }
+
+    /// Applies a graph-level corruption to an instance. `TruncatePaths`
+    /// is routing-level and leaves the graph untouched — the battery
+    /// truncates the path set instead.
+    pub fn apply(self, inst: &mut FlatTreeInstance) {
+        let rate = crate::graph_rules::unit_gbps(&*inst);
+        match self {
+            Corruption::SwapSideLink => {
+                assert!(
+                    inst.pod_edges.len() >= 3,
+                    "side-link swap needs a non-adjacent pod pair"
+                );
+                let a = inst.pod_edges[0][0];
+                let b = inst.pod_edges[2][0];
+                inst.net.graph.add_duplex_link(a, b, rate);
+            }
+            Corruption::OverloadPort => {
+                let edge = inst.pod_edges[0][0];
+                let core = inst.cores[0];
+                inst.net.graph.add_duplex_link(edge, core, rate);
+            }
+            Corruption::TruncatePaths => {}
+        }
+    }
+
+    /// Number of leading switch pairs whose path sets the routing
+    /// battery empties under this corruption.
+    pub fn truncated_pairs(self) -> usize {
+        match self {
+            Corruption::TruncatePaths => 1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for c in Corruption::ALL {
+            assert_eq!(Corruption::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Corruption::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Structured, deterministic diagnostics for the `ftcheck` rule battery.
+//!
+//! Every rule has a stable code (`FT-Gxxx` graph, `FT-Rxxx` routing,
+//! `FT-Cxxx` control, `FT-Axxx` addressing), a fixed severity, and a
+//! fix hint. Findings sort by `(code, location, detail)` so reports are
+//! byte-identical across runs regardless of discovery order.
+
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is. Everything the battery emits today is a hard
+/// error — the invariants are structural facts, not style preferences —
+/// but the severity channel keeps room for advisory rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Advisory: suspicious but not provably wrong.
+    Warning,
+    /// The artifact violates a structural invariant of the paper.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The rule catalog. Codes are append-only: never renumber a shipped rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum RuleCode {
+    /// Per-switch port budget: cable count != the §3 wiring expectation.
+    PortBudget,
+    /// Converter configuration invalid for its blade kind, or the config
+    /// vector does not match the converter inventory.
+    ConverterConfig,
+    /// The §3.3 shifting inter-pod side-link pattern is asymmetric.
+    SidePattern,
+    /// Inter-pod side cables in the graph disagree with the pattern.
+    SideWiring,
+    /// A server is not attached by exactly one uplink.
+    ServerAttachment,
+    /// A mode's graph is not a single connected component.
+    Connectivity,
+    /// A sampled min-cut fell below the Table 1 lower bound.
+    MinCut,
+    /// Switches of one class have unequal degrees in a uniform mode.
+    DegreeRegularity,
+    /// A reachable src/dst pair has an empty k-shortest-path set.
+    Blackhole,
+    /// A routed path revisits a node.
+    RoutingLoop,
+    /// A routed path does not exist edge-by-edge in the graph.
+    PathInvalid,
+    /// A path does not fit the §4.2.2 MAC+TTL source-route budget, or
+    /// the encoded route does not replay to the same node sequence.
+    SourceRouteBudget,
+    /// A route cache served a stale answer across a `FailedLinks` epoch.
+    CacheEpoch,
+    /// A mode-to-mode delta changes cables no converter circuit owns.
+    ConversionDelta,
+    /// A conversion's delete and add rule sets overlap, or applying them
+    /// does not reproduce the target rule set.
+    RuleChurn,
+    /// A resilient-conversion stage plan does not cover exactly the delta.
+    StagePlan,
+    /// Two configured addresses collide.
+    AddressUnique,
+    /// Per-switch /24 prefix aggregation is violated.
+    PrefixAggregation,
+    /// An address field exceeds its Figure 5a bit width, or a server has
+    /// the wrong number of addresses for its mode's k.
+    AddressWidth,
+}
+
+impl RuleCode {
+    /// The stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleCode::PortBudget => "FT-G001",
+            RuleCode::ConverterConfig => "FT-G002",
+            RuleCode::SidePattern => "FT-G003",
+            RuleCode::SideWiring => "FT-G004",
+            RuleCode::ServerAttachment => "FT-G005",
+            RuleCode::Connectivity => "FT-G006",
+            RuleCode::MinCut => "FT-G007",
+            RuleCode::DegreeRegularity => "FT-G008",
+            RuleCode::Blackhole => "FT-R001",
+            RuleCode::RoutingLoop => "FT-R002",
+            RuleCode::PathInvalid => "FT-R003",
+            RuleCode::SourceRouteBudget => "FT-R004",
+            RuleCode::CacheEpoch => "FT-R005",
+            RuleCode::ConversionDelta => "FT-C001",
+            RuleCode::RuleChurn => "FT-C002",
+            RuleCode::StagePlan => "FT-C003",
+            RuleCode::AddressUnique => "FT-A001",
+            RuleCode::PrefixAggregation => "FT-A002",
+            RuleCode::AddressWidth => "FT-A003",
+        }
+    }
+
+    /// Fixed severity of the rule.
+    pub fn severity(self) -> Severity {
+        Severity::Error
+    }
+
+    /// A short remediation pointer.
+    pub fn fix_hint(self) -> &'static str {
+        match self {
+            RuleCode::PortBudget => "re-derive the wiring from §3.1/§3.2; a cable was added or dropped outside the converter inventory",
+            RuleCode::ConverterConfig => "4-port blade-A circuits support only default/local (§3.1); regenerate configs with modes::configs_for",
+            RuleCode::SidePattern => "side peers must follow side_peer_column's shifted pattern (§3.3)",
+            RuleCode::SideWiring => "inter-pod cables must equal the side_pairs × pair_links multiset; check wrap_side_links and converter configs",
+            RuleCode::ServerAttachment => "every server needs exactly one uplink (§4.2.1 Observation 1); check the converter's server_attachment",
+            RuleCode::Connectivity => "a mode left islands; check side-link wrap and converter configs for dark bundles",
+            RuleCode::MinCut => "capacity between sampled switches fell below the Table 1 floor; check uplink multiplicities",
+            RuleCode::DegreeRegularity => "uniform modes are vertex-transitive per class; a switch gained or lost cables",
+            RuleCode::Blackhole => "Yen returned no path for a connected pair; check link direction and reverse pairing",
+            RuleCode::RoutingLoop => "k-shortest-path sets must be simple paths; check the spur-path filter",
+            RuleCode::PathInvalid => "path links must connect consecutive path nodes; the path was spliced against a different instance",
+            RuleCode::SourceRouteBudget => "paths must fit 6 MAC-encoded hops (§4.2.2); raise k-shortest-path locality or shrink diameter",
+            RuleCode::CacheEpoch => "route caches must key on FailedLinks::epoch; clear the cache on epoch change",
+            RuleCode::ConversionDelta => "conversions may touch converter-owned circuits only (§3.1); the delta reaches foreign cables",
+            RuleCode::RuleChurn => "delete/add sets must be disjoint and apply to exactly the target rule set; recompute the diff",
+            RuleCode::StagePlan => "the per-switch stage plan must sum to the rule diff; regenerate ConversionWork from diff_per_switch",
+            RuleCode::AddressUnique => "Figure 5a addresses must be unique; check switch-id stability across modes",
+            RuleCode::PrefixAggregation => "all servers under one ingress switch must share a /24 per path id (§4.2.1)",
+            RuleCode::AddressWidth => "fields must fit 13/3/2/6 bits and each server needs ceil(sqrt(k)) addresses per mode (§4.1)",
+        }
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One diagnostic: rule, severity, where, what, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleCode,
+    /// Stable code string (`FT-G001`), duplicated for JSON consumers.
+    pub code: &'static str,
+    /// Severity of the rule.
+    pub severity: Severity,
+    /// Where in the artifact (node label, pair, mode).
+    pub location: String,
+    /// What is wrong.
+    pub detail: String,
+    /// How to fix it.
+    pub fix: &'static str,
+}
+
+impl Finding {
+    /// Builds a finding for `rule`.
+    pub fn new(rule: RuleCode, location: impl Into<String>, detail: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            code: rule.code(),
+            severity: rule.severity(),
+            location: location.into(),
+            detail: detail.into(),
+            fix: rule.fix_hint(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}: {} [fix: {}]",
+            self.code, self.severity, self.location, self.detail, self.fix
+        )
+    }
+}
+
+/// Sorts findings into the canonical report order and drops duplicates,
+/// making output independent of rule execution order.
+pub fn canonicalize(mut findings: Vec<Finding>) -> Vec<Finding> {
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = [
+            RuleCode::PortBudget,
+            RuleCode::ConverterConfig,
+            RuleCode::SidePattern,
+            RuleCode::SideWiring,
+            RuleCode::ServerAttachment,
+            RuleCode::Connectivity,
+            RuleCode::MinCut,
+            RuleCode::DegreeRegularity,
+            RuleCode::Blackhole,
+            RuleCode::RoutingLoop,
+            RuleCode::PathInvalid,
+            RuleCode::SourceRouteBudget,
+            RuleCode::CacheEpoch,
+            RuleCode::ConversionDelta,
+            RuleCode::RuleChurn,
+            RuleCode::StagePlan,
+            RuleCode::AddressUnique,
+            RuleCode::PrefixAggregation,
+            RuleCode::AddressWidth,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "duplicate rule code");
+        for r in all {
+            assert!(r.code().starts_with("FT-"));
+            assert!(!r.fix_hint().is_empty());
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_input_independent() {
+        let a = Finding::new(RuleCode::PortBudget, "E0", "x");
+        let b = Finding::new(RuleCode::Blackhole, "E1", "y");
+        let fwd = canonicalize(vec![a.clone(), b.clone()]);
+        let rev = canonicalize(vec![b, a.clone(), a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_code_and_fix() {
+        let f = Finding::new(RuleCode::SideWiring, "pod0->pod1", "missing cable");
+        let s = f.to_string();
+        assert!(s.contains("FT-G004") && s.contains("error") && s.contains("fix:"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # verify — `ftcheck`, the static invariant verifier
+//!
+//! Statically analyzes generated flat-tree artifacts — instantiated
+//! topologies, k-shortest-path sets, conversion deltas, and the §4.1
+//! address plan — without running any simulation, and emits structured,
+//! deterministic diagnostics (rule code, severity, location, fix hint).
+//!
+//! The rule battery:
+//!
+//! * **graph rules** (`FT-Gxxx`) — per-switch port budgets, converter
+//!   configuration validity, symmetry of the §3.3 shifting side-link
+//!   pattern, connectivity via union-find, sampled min-cut floors, and
+//!   per-class degree regularity;
+//! * **routing rules** (`FT-Rxxx`) — loop- and blackhole-freedom of the
+//!   k-shortest-path set of every ingress-switch pair, MAC+TTL
+//!   source-route encodability with a full replay (§4.2.2), and route
+//!   cache / `FailedLinks` epoch discipline;
+//! * **control rules** (`FT-Cxxx`) — conversions touch converter
+//!   circuits only, rule delete/add algebra, stage-plan coverage;
+//! * **addressing rules** (`FT-Axxx`) — uniqueness, field widths, and
+//!   /24 aggregation of the MPTCP address plan.
+//!
+//! The graph rules share their rule source with the `strict-invariants`
+//! cargo feature: [`flat_tree::invariants`] backs both the static
+//! battery here and the `debug_assert!`s at the construction sites, so
+//! the two can never drift apart.
+//!
+//! The `ftcheck` binary runs the battery over a (topology × check) grid
+//! on the [`ft_bench::sweep`] driver and exits non-zero on any finding;
+//! `--inject <corruption>` plants a defect to prove the battery catches
+//! it (used by CI's negative tests).
+
+pub mod addressing_rules;
+pub mod battery;
+pub mod control_rules;
+pub mod corrupt;
+pub mod diag;
+pub mod graph_rules;
+pub mod routing_rules;
+
+pub use battery::{run, run_cell, BatteryReport, Cell, CellReport, CheckKind};
+pub use corrupt::Corruption;
+pub use diag::{Finding, RuleCode, Severity};

@@ -1,0 +1,180 @@
+//! Positive and negative coverage for the `ftcheck` rule battery.
+//!
+//! Positive: seeded flat-trees are clean for k ∈ {4, 6, 8} across all
+//! four modes. Negative: each planted corruption is flagged with its
+//! documented rule code, and nothing else silences the battery.
+
+use flat_tree::{FlatTree, ModeAssignment, PodMode};
+use ft_bench::Scale;
+use proptest::prelude::*;
+use routing::addressing::TopologyModeId;
+use testbed::rig::testbed_params;
+use verify::battery::{self, mode_grid, Cell, CheckKind};
+use verify::{diag, Corruption, RuleCode};
+
+fn testbed_ft() -> FlatTree {
+    FlatTree::new(testbed_params()).expect("testbed params are valid")
+}
+
+fn mode_cell(assignment: ModeAssignment) -> Cell {
+    Cell {
+        topo: "testbed".to_string(),
+        params: testbed_params(),
+        kind: CheckKind::Mode(assignment),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Zero findings on clean seeded flat-trees, for every k the §4.1
+    /// address plan supports on 3 path-id bits and all four modes.
+    #[test]
+    fn clean_flat_trees_have_zero_findings(ki in 0usize..3, mi in 0usize..4) {
+        let k = [4, 6, 8][ki];
+        let ft = testbed_ft();
+        let assignment = mode_grid(ft.pods())[mi].clone();
+        let inst = ft.instantiate(&assignment);
+        let mut findings = verify::graph_rules::check(&ft, &inst);
+        findings.extend(verify::routing_rules::check(&inst, k));
+        prop_assert!(findings.is_empty(), "mode {} k {k}: {findings:?}", assignment.label());
+    }
+
+    /// The addressing battery is clean for every supported k.
+    #[test]
+    fn clean_address_plans_have_zero_findings(ki in 0usize..3) {
+        let k = [4, 6, 8][ki];
+        let ft = testbed_ft();
+        let global = ft.instantiate(&ModeAssignment::uniform(ft.pods(), PodMode::Global));
+        let local = ft.instantiate(&ModeAssignment::uniform(ft.pods(), PodMode::Local));
+        let clos = ft.instantiate(&ModeAssignment::uniform(ft.pods(), PodMode::Clos));
+        let instances = [
+            (TopologyModeId::Global, &global),
+            (TopologyModeId::Local, &local),
+            (TopologyModeId::Clos, &clos),
+        ];
+        let findings = verify::addressing_rules::check(&instances, k);
+        prop_assert!(findings.is_empty(), "k {k}: {findings:?}");
+    }
+}
+
+#[test]
+fn control_battery_is_clean() {
+    let ft = testbed_ft();
+    let findings = verify::control_rules::check(&ft, &mode_grid(ft.pods()), 4);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn smoke_battery_is_clean_and_deterministic() {
+    let scale = Scale {
+        smoke: true,
+        ..Scale::default()
+    };
+    let a = battery::run(&scale, None);
+    let b = battery::run(&scale, None);
+    assert_eq!(a.total_findings(), 0, "{}", battery::render(&a));
+    assert_eq!(battery::render(&a), battery::render(&b));
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+fn codes_for(corruption: Corruption, assignment: ModeAssignment) -> Vec<RuleCode> {
+    let report = battery::run_cell(&mode_cell(assignment), 4, Some(corruption));
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn swapped_side_link_is_flagged_as_side_wiring() {
+    let pods = testbed_ft().pods();
+    let codes = codes_for(
+        Corruption::SwapSideLink,
+        ModeAssignment::uniform(pods, PodMode::Global),
+    );
+    assert!(
+        codes.contains(&RuleCode::SideWiring),
+        "expected FT-G004, got {codes:?}"
+    );
+    assert!(codes.contains(&RuleCode::PortBudget));
+}
+
+#[test]
+fn oversubscribed_converter_port_is_flagged_as_port_budget() {
+    let pods = testbed_ft().pods();
+    for assignment in [
+        ModeAssignment::uniform(pods, PodMode::Clos),
+        ModeAssignment::uniform(pods, PodMode::Global),
+    ] {
+        let codes = codes_for(Corruption::OverloadPort, assignment);
+        assert!(
+            codes.contains(&RuleCode::PortBudget),
+            "expected FT-G001, got {codes:?}"
+        );
+        assert!(
+            !codes.contains(&RuleCode::SideWiring),
+            "an extra core cable is not a side-wiring defect: {codes:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_path_set_is_flagged_as_blackhole() {
+    let pods = testbed_ft().pods();
+    let codes = codes_for(
+        Corruption::TruncatePaths,
+        ModeAssignment::uniform(pods, PodMode::Clos),
+    );
+    assert_eq!(
+        codes,
+        vec![RuleCode::Blackhole],
+        "truncation must fire FT-R001 and nothing else"
+    );
+}
+
+#[test]
+fn every_corruption_fails_the_smoke_battery_with_its_code() {
+    let scale = Scale {
+        smoke: true,
+        ..Scale::default()
+    };
+    for corruption in Corruption::ALL {
+        let report = battery::run(&scale, Some(corruption));
+        assert!(
+            report.total_findings() > 0,
+            "{} went undetected",
+            corruption.name()
+        );
+        let expected = corruption.expected_code();
+        assert!(
+            report
+                .cells
+                .iter()
+                .flat_map(|c| &c.findings)
+                .any(|f| f.rule == expected),
+            "{} did not fire {}",
+            corruption.name(),
+            expected.code()
+        );
+    }
+}
+
+#[test]
+fn findings_carry_code_severity_location_and_fix() {
+    let pods = testbed_ft().pods();
+    let report = battery::run_cell(
+        &mode_cell(ModeAssignment::uniform(pods, PodMode::Global)),
+        4,
+        Some(Corruption::SwapSideLink),
+    );
+    let f = report.findings.first().expect("corruption found");
+    assert_eq!(f.code, f.rule.code());
+    assert_eq!(f.severity, diag::Severity::Error);
+    assert!(!f.location.is_empty() && !f.detail.is_empty() && !f.fix.is_empty());
+    // Canonical order: findings arrive sorted and deduplicated.
+    let mut sorted = report.findings.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted, report.findings);
+}
