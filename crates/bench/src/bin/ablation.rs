@@ -1,10 +1,12 @@
 //! Extension experiment: ablation. See EXPERIMENTS.md.
 
 use ft_bench::experiments::ablation;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("ablation");
+    let rec = recorder::start("ablation", &cli);
+    let scale = cli.scale;
     let out = ablation::run(scale);
     ablation::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

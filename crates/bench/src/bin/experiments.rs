@@ -1,10 +1,12 @@
 //! Runs every table/figure experiment in sequence (the full evaluation).
 
 use ft_bench::experiments::*;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("experiments");
+    let rec = recorder::start("experiments", &cli);
+    let scale = cli.scale;
     println!(
         "flat-tree evaluation — scale: {}",
         if scale.full {
@@ -23,4 +25,5 @@ fn main() {
     resilience::print(&resilience::run(scale));
     hybrid::print(&hybrid::run(scale));
     ablation::print(&ablation::run(scale));
+    recorder::finish(rec);
 }

@@ -4,10 +4,12 @@
 //! violation, so CI catches engine regressions under faults.
 
 use ft_bench::experiments::faultsweep;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("faultsweep");
+    let rec = recorder::start("faultsweep", &cli);
+    let scale = cli.scale;
     let out = faultsweep::run(scale);
     faultsweep::print(&out);
     if scale.json {
@@ -16,6 +18,7 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
     let violations = faultsweep::total_violations(&out);
     if violations > 0 {
         eprintln!("fault sweep: {violations} invariant violations");

@@ -1,10 +1,12 @@
 //! Regenerates the paper's fig10 data. See EXPERIMENTS.md.
 
 use ft_bench::experiments::fig10;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("fig10");
+    let rec = recorder::start("fig10", &cli);
+    let scale = cli.scale;
     let out = fig10::run(scale);
     fig10::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

@@ -1,10 +1,12 @@
 //! Regenerates the paper's fig7 data. See EXPERIMENTS.md.
 
 use ft_bench::experiments::fig7;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("fig7");
+    let rec = recorder::start("fig7", &cli);
+    let scale = cli.scale;
     let out = fig7::run(scale);
     fig7::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

@@ -1,10 +1,12 @@
 //! Regenerates the paper's fig8 data. See EXPERIMENTS.md.
 
 use ft_bench::experiments::fig8;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("fig8");
+    let rec = recorder::start("fig8", &cli);
+    let scale = cli.scale;
     let out = fig8::run(scale);
     fig8::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

@@ -1,10 +1,12 @@
 //! Extension experiment: hybrid. See EXPERIMENTS.md.
 
 use ft_bench::experiments::hybrid;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("hybrid");
+    let rec = recorder::start("hybrid", &cli);
+    let scale = cli.scale;
     let out = hybrid::run(scale);
     hybrid::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

@@ -1,0 +1,245 @@
+//! Performance snapshot: times the simulation engine on the bench_simcore
+//! workloads plus one sweep grid and writes `BENCH_sim.json`.
+//!
+//! Usage:
+//!   cargo run -p ft-bench --release --bin perfsnap -- [--smoke] [--out \<path\>]
+//!
+//! Each workload is run twice: once with a counting sink (untimed) to
+//! establish how many trace events the run generates, then once with the
+//! no-op sink for the wall-clock measurement — so the reported time is
+//! the un-traced hot path, exactly what `cargo bench -p ft-bench --bench
+//! bench_simcore` measures. `events_per_s` is the counted event total
+//! divided by that un-traced wall-clock, and `peak_rss_kb` is the
+//! process high-water mark (`VmHWM`) sampled after the workload (0 on
+//! non-Linux hosts). `--smoke` shrinks the flow rounds for CI.
+
+use flat_tree::PodMode;
+use flowsim::{try_simulate_traced, LinkFailure, SimConfig, TraceEvent, TraceSink, Transport};
+use ft_bench::experiments::{common, faultsweep};
+use ft_bench::{sweep, Scale};
+use netgraph::{Graph, LinkId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use topology::DcNetwork;
+
+const USAGE: &str = "usage: perfsnap [--smoke] [--out <path>] [--help]";
+
+/// Counts every emitted event; used for the untimed instrumentation pass.
+struct CountingSink(u64);
+
+impl TraceSink for CountingSink {
+    fn emit(&mut self, _ev: TraceEvent) {
+        self.0 += 1;
+    }
+}
+
+fn first_cable(g: &Graph) -> LinkId {
+    g.link_ids()
+        .find(|&l| {
+            let info = g.link(l);
+            g.node(info.src).kind.is_switch() && g.node(info.dst).kind.is_switch()
+        })
+        .expect("switch-switch link")
+}
+
+fn workload(net: &DcNetwork, rounds: u64) -> Vec<flowsim::FlowSpec> {
+    let pairs = traffic::patterns::permutation(net.num_servers(), 11);
+    let mut flows = Vec::new();
+    for round in 0..rounds {
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            let id = round * pairs.len() as u64 + i as u64;
+            flows.push(flowsim::FlowSpec {
+                id,
+                src: net.servers[s],
+                dst: net.servers[d],
+                bytes: 2.5e7,
+                start: id as f64 * 1e-3,
+            });
+        }
+    }
+    flows
+}
+
+/// `VmHWM` (peak resident set) in kB from `/proc/self/status`; 0 when
+/// the file or the field is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct Snapshot {
+    name: &'static str,
+    wall_ms: f64,
+    events: u64,
+    peak_rss_kb: u64,
+}
+
+impl Snapshot {
+    fn events_per_s(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure_sim(
+    name: &'static str,
+    net: &DcNetwork,
+    flows: &[flowsim::FlowSpec],
+    cfg: &SimConfig,
+) -> Snapshot {
+    let mut counter = CountingSink(0);
+    try_simulate_traced(&net.graph, flows, cfg, &mut counter).expect("valid workload");
+    let t0 = Instant::now();
+    let out = flowsim::simulate(&net.graph, flows, cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(out.end_time);
+    Snapshot {
+        name,
+        wall_ms,
+        events: counter.0,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// The sweep-grid workload: the faultsweep smoke grid, with cells counted
+/// through the process-wide sweep observer (one event per cell).
+fn measure_faultsweep() -> Snapshot {
+    let cells = Arc::new(AtomicU64::new(0));
+    let seen = cells.clone();
+    sweep::set_observer(Some(Arc::new(move |_, _| {
+        seen.fetch_add(1, Ordering::Relaxed);
+    })));
+    let scale = Scale {
+        smoke: true,
+        ..Scale::default()
+    };
+    let t0 = Instant::now();
+    let out = faultsweep::run(scale);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sweep::set_observer(None);
+    std::hint::black_box(faultsweep::total_violations(&out));
+    Snapshot {
+        name: "faultsweep_smoke_grid",
+        wall_ms,
+        events: cells.load(Ordering::Relaxed),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(bool, String), String> {
+    let mut smoke = false;
+    let mut out = "BENCH_sim.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().ok_or("--out requires a path")?.clone(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((smoke, out))
+}
+
+fn render_json(smoke: bool, snaps: &[Snapshot]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"bench_sim/v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str("  \"workloads\": {\n");
+    for (i, snap) in snaps.iter().enumerate() {
+        let comma = if i + 1 < snaps.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_s\": {:.1}, \"peak_rss_kb\": {}}}{comma}\n",
+            snap.name,
+            snap.wall_ms,
+            snap.events,
+            snap.events_per_s(),
+            snap.peak_rss_kb,
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let (smoke, out_path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("perfsnap: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let rounds = if smoke { 2 } else { 6 };
+
+    let ft = common::flat_tree_over(common::mini_topo(1));
+    let net = common::instance(&ft, PodMode::Global).net;
+    let flows = workload(&net, rounds);
+    let fail = vec![LinkFailure {
+        time: 0.05,
+        link: first_cable(&net.graph),
+    }];
+    let ecmp = SimConfig {
+        transport: Transport::TcpEcmp,
+        ..SimConfig::default()
+    };
+    let mptcp = SimConfig {
+        transport: Transport::Mptcp {
+            k: 8,
+            coupled: true,
+        },
+        ..SimConfig::default()
+    };
+
+    let mut snaps = Vec::new();
+    let cases: [(&'static str, &SimConfig, bool); 4] = [
+        ("sim_ecmp", &ecmp, false),
+        ("sim_ecmp_failure", &ecmp, true),
+        ("sim_mptcp8", &mptcp, false),
+        ("sim_mptcp8_failure", &mptcp, true),
+    ];
+    for (name, cfg, with_failure) in cases {
+        let cfg = if with_failure {
+            SimConfig {
+                link_failures: fail.clone(),
+                ..cfg.clone()
+            }
+        } else {
+            cfg.clone()
+        };
+        let snap = measure_sim(name, &net, &flows, &cfg);
+        eprintln!(
+            "perfsnap: {:<22} {:>9.1} ms  {:>9} events  {:>8} kB peak",
+            snap.name, snap.wall_ms, snap.events, snap.peak_rss_kb
+        );
+        snaps.push(snap);
+    }
+    let snap = measure_faultsweep();
+    eprintln!(
+        "perfsnap: {:<22} {:>9.1} ms  {:>9} cells   {:>8} kB peak",
+        snap.name, snap.wall_ms, snap.events, snap.peak_rss_kb
+    );
+    snaps.push(snap);
+
+    let json = render_json(smoke, &snaps);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perfsnap: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("perfsnap: wrote {out_path} ({} workloads)", snaps.len());
+}

@@ -1,10 +1,12 @@
 //! Extension experiment: resilience. See EXPERIMENTS.md.
 
 use ft_bench::experiments::resilience;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("resilience");
+    let rec = recorder::start("resilience", &cli);
+    let scale = cli.scale;
     let out = resilience::run(scale);
     resilience::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

@@ -1,10 +1,12 @@
 //! Regenerates the paper's table1 data. See EXPERIMENTS.md.
 
 use ft_bench::experiments::table1;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("table1");
+    let rec = recorder::start("table1", &cli);
+    let scale = cli.scale;
     let out = table1::run(scale);
     table1::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

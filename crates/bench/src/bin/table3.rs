@@ -1,10 +1,12 @@
 //! Regenerates the paper's table3 data. See EXPERIMENTS.md.
 
 use ft_bench::experiments::table3;
-use ft_bench::Scale;
+use ft_bench::{recorder, Cli};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cli = Cli::parse("table3");
+    let rec = recorder::start("table3", &cli);
+    let scale = cli.scale;
     let out = table3::run(scale);
     table3::print(&out);
     if scale.json {
@@ -13,4 +15,5 @@ fn main() {
             serde_json::to_string_pretty(&out).expect("serializable")
         );
     }
+    recorder::finish(rec);
 }

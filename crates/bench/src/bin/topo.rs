@@ -14,14 +14,41 @@ use ft_bench::report::{f3, print_table};
 use netgraph::{dot, metrics, NodeKind};
 use topology::{RandomGraphParams, TwoStageParams};
 
+const USAGE: &str = "usage: topo [--full] [--dot <clos|local|global>] [--help]";
+
+fn parse_args(args: &[String]) -> Result<(bool, Option<String>), String> {
+    let mut full = false;
+    let mut dot_mode = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--dot" => {
+                let mode = it.next().ok_or("--dot requires a mode argument")?;
+                match mode.as_str() {
+                    "clos" | "local" | "global" => dot_mode = Some(mode.clone()),
+                    other => return Err(format!("unknown --dot mode `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((full, dot_mode))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let dot_mode = args
-        .iter()
-        .position(|a| a == "--dot")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let (full, dot_mode) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("topo: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
     let clos = common::topo(1, full);
     let ft = common::flat_tree_over(clos);

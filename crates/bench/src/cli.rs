@@ -1,0 +1,146 @@
+//! Strict CLI parsing shared by every experiment binary.
+//!
+//! Historically the bins panicked (exit 101) on a bad flag and the
+//! hand-rolled parsers silently ignored unknown ones. [`Cli::parse`]
+//! fixes both: unknown or malformed arguments print a usage message on
+//! stderr and exit with status **2** (the conventional usage-error
+//! code), and `--help` prints the same message on stdout and exits 0.
+
+use crate::scale::Scale;
+use std::path::PathBuf;
+
+/// Parsed command line of an experiment binary: the common [`Scale`]
+/// options plus the observability flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cli {
+    /// Scale/seed/json options shared by every experiment.
+    pub scale: Scale,
+    /// `--metrics <out.jsonl>`: stream sweep-progress trace events
+    /// (`SweepCell` / `SweepSummary`) to this file. Never touches
+    /// stdout.
+    pub metrics: Option<PathBuf>,
+}
+
+/// The usage text for `bin`.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--full] [--smoke] [--seed <u64>] [--json] [--metrics <out.jsonl>]\n\
+         \n\
+         options:\n\
+         \x20 --full                 run at the paper's full Table 2 sizes\n\
+         \x20 --smoke                shrink to a seconds-long CI smoke run\n\
+         \x20 --seed <u64>           RNG seed for workloads and random topologies\n\
+         \x20 --json                 also emit results as JSON on stdout\n\
+         \x20 --metrics <out.jsonl>  write sweep trace events (JSONL) to a file\n\
+         \x20 --help                 print this message"
+    )
+}
+
+impl Cli {
+    /// Parses the process arguments; on a usage error prints the
+    /// message and the usage text to stderr and exits with status 2.
+    /// `--help` prints usage to stdout and exits 0.
+    pub fn parse(bin: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", usage(bin));
+            std::process::exit(0);
+        }
+        match Self::parse_from(&args) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("{bin}: {e}\n{}", usage(bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parser over an argument slice (no process exit), for tests
+    /// and for [`parse`](Self::parse).
+    pub fn parse_from(args: &[String]) -> Result<Self, String> {
+        let mut cli = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => cli.scale.full = true,
+                "--smoke" => cli.scale.smoke = true,
+                "--json" => cli.scale.json = true,
+                "--seed" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--seed needs a value")?;
+                    cli.scale.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed needs a u64, got {v:?}"))?;
+                }
+                "--metrics" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--metrics needs a path")?;
+                    cli.metrics = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+            i += 1;
+        }
+        Ok(cli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_known_flags() {
+        let cli = Cli::parse_from(&strs(&[
+            "--full",
+            "--smoke",
+            "--seed",
+            "42",
+            "--json",
+            "--metrics",
+            "/tmp/out.jsonl",
+        ]))
+        .expect("valid args");
+        assert!(cli.scale.full && cli.scale.smoke && cli.scale.json);
+        assert_eq!(cli.scale.seed, 42);
+        assert_eq!(
+            cli.metrics.as_deref(),
+            Some(std::path::Path::new("/tmp/out.jsonl"))
+        );
+    }
+
+    #[test]
+    fn defaults_match_scale_defaults() {
+        let cli = Cli::parse_from(&[]).expect("empty is valid");
+        assert_eq!(cli.scale, Scale::default());
+        assert_eq!(cli.metrics, None);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Cli::parse_from(&strs(&["--frull"])).is_err());
+        assert!(Cli::parse_from(&strs(&["--seed"])).is_err());
+        assert!(Cli::parse_from(&strs(&["--seed", "banana"])).is_err());
+        assert!(Cli::parse_from(&strs(&["--metrics"])).is_err());
+        assert!(Cli::parse_from(&strs(&["extra"])).is_err());
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let u = usage("fig6");
+        for flag in [
+            "--full",
+            "--smoke",
+            "--seed",
+            "--json",
+            "--metrics",
+            "--help",
+        ] {
+            assert!(u.contains(flag), "usage must mention {flag}");
+        }
+    }
+}

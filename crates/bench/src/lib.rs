@@ -14,10 +14,13 @@
 //! Table 2 sizes. The mapping from mini to full parameters and the
 //! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
 
+pub mod cli;
 pub mod experiments;
+pub mod recorder;
 pub mod report;
 pub mod scale;
 pub mod sweep;
 
+pub use cli::Cli;
 pub use flowsim::faults;
 pub use scale::Scale;

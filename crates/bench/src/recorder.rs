@@ -1,0 +1,151 @@
+//! The `--metrics <out.jsonl>` recorder: streams sweep-progress trace
+//! events to a file while an experiment runs.
+//!
+//! [`start`] opens the file and installs a [`crate::sweep`] observer
+//! that appends one `SweepCell` event per finished cell (in completion
+//! order — the cell index is the deterministic key, the order is not).
+//! [`finish`] uninstalls the observer and appends a terminal
+//! `SweepSummary` with wall-clock, throughput, and cell-latency
+//! percentiles. Nothing here writes to stdout, so experiment output is
+//! byte-identical with and without `--metrics`.
+
+use crate::cli::Cli;
+use crate::sweep;
+use obs::{Histogram, JsonlSink, TraceEvent, TraceSink};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Shared {
+    sink: Mutex<JsonlSink<BufWriter<File>>>,
+    cell_ms: Mutex<Vec<f64>>,
+}
+
+/// An active `--metrics` recording; created by [`start`], closed by
+/// [`finish`]. Dropping it without `finish` leaves the file without its
+/// summary line (the cell events are still flushed by the OS on exit).
+pub struct MetricsRecorder {
+    bin: String,
+    shared: Arc<Shared>,
+    t0: Instant,
+}
+
+/// Starts recording if the CLI asked for it (`--metrics <path>`).
+/// Exits with status 1 on an I/O error creating the file.
+pub fn start(bin: &str, cli: &Cli) -> Option<MetricsRecorder> {
+    let path = cli.metrics.as_deref()?;
+    match MetricsRecorder::create(bin, path) {
+        Ok(rec) => Some(rec),
+        Err(e) => {
+            eprintln!("{bin}: cannot open metrics file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Finishes a recording started by [`start`] (no-op on `None`).
+/// Exits with status 1 if the file could not be written.
+pub fn finish(rec: Option<MetricsRecorder>) {
+    if let Some(rec) = rec {
+        let bin = rec.bin.clone();
+        if let Err(e) = rec.close() {
+            eprintln!("{bin}: metrics write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+impl MetricsRecorder {
+    /// Opens `path` and installs the sweep observer.
+    pub fn create(bin: &str, path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let shared = Arc::new(Shared {
+            sink: Mutex::new(JsonlSink::new(BufWriter::new(file))),
+            cell_ms: Mutex::new(Vec::new()),
+        });
+        let obs = shared.clone();
+        sweep::set_observer(Some(Arc::new(move |cell, wall_ms| {
+            obs.cell_ms.lock().expect("recorder lock").push(wall_ms);
+            obs.sink
+                .lock()
+                .expect("recorder lock")
+                .emit(TraceEvent::SweepCell { cell, wall_ms });
+        })));
+        Ok(Self {
+            bin: bin.to_string(),
+            shared,
+            t0: Instant::now(),
+        })
+    }
+
+    /// Uninstalls the observer, appends the `SweepSummary`, and flushes.
+    pub fn close(self) -> std::io::Result<()> {
+        sweep::set_observer(None);
+        let wall_ms = self.t0.elapsed().as_secs_f64() * 1e3;
+        let cell_ms = self.shared.cell_ms.lock().expect("recorder lock").clone();
+        let mut h = Histogram::new();
+        for &ms in &cell_ms {
+            h.record(ms);
+        }
+        let mut sink = self.shared.sink.lock().expect("recorder lock");
+        sink.emit(TraceEvent::SweepSummary {
+            bin: self.bin.clone(),
+            cells: cell_ms.len(),
+            wall_ms,
+            cells_per_s: if wall_ms > 0.0 {
+                cell_ms.len() as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            p50_ms: h.percentile(50.0),
+            p99_ms: h.percentile(99.0),
+            max_ms: h.max(),
+        });
+        if let Some(e) = sink.take_error() {
+            return Err(e);
+        }
+        drop(sink);
+        // The observer clone was just dropped with set_observer(None),
+        // so this recorder holds the only reference.
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => {
+                shared
+                    .sink
+                    .into_inner()
+                    .expect("recorder lock")
+                    .into_inner()?;
+                Ok(())
+            }
+            // A racing observer callback still holds the Arc; the
+            // BufWriter flushes when the last clone drops.
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_cells_and_summary() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ftobs_rec_{}.jsonl", std::process::id()));
+        let rec = MetricsRecorder::create("testbin", &path).expect("create");
+        let items: Vec<u64> = (0..8).collect();
+        let out = sweep::sweep_with_threads(&items, 2, |_, &x| x + 1);
+        assert_eq!(out.len(), 8);
+        rec.close().expect("close");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 9, "8 cells + summary, got {}", lines.len());
+        let cells = lines.iter().filter(|l| l.contains("\"SweepCell\"")).count();
+        assert!(cells >= 8);
+        let last = lines.last().expect("summary line");
+        assert!(last.contains("\"SweepSummary\""), "{last}");
+        assert!(last.contains("\"bin\":\"testbin\""), "{last}");
+    }
+}

@@ -28,33 +28,6 @@ impl Default for Scale {
 }
 
 impl Scale {
-    /// Parses `--full`, `--smoke`, `--seed <u64>`, `--json` from process
-    /// args.
-    pub fn from_args() -> Self {
-        let mut s = Self::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--full" => s.full = true,
-                "--smoke" => s.smoke = true,
-                "--json" => s.json = true,
-                "--seed" => {
-                    i += 1;
-                    s.seed = args
-                        .get(i)
-                        .and_then(|v| v.parse().ok())
-                        .expect("--seed needs a u64");
-                }
-                other => {
-                    panic!("unknown argument {other}; known: --full --smoke --seed <u64> --json")
-                }
-            }
-            i += 1;
-        }
-        s
-    }
-
     /// A tiny scale for Criterion benches and integration tests.
     pub fn bench() -> Self {
         Self::default()

@@ -10,7 +10,26 @@
 //! thread count or scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// A progress callback: `(cell index, cell wall-clock in ms)`, invoked
+/// in completion order from whichever worker finished the cell.
+pub type CellObserver = Arc<dyn Fn(usize, f64) + Send + Sync>;
+
+/// The installed observer. Process-wide so experiment entry points need
+/// no signature change; cells are only timed while one is installed.
+static OBSERVER: RwLock<Option<CellObserver>> = RwLock::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide sweep observer.
+/// The observer must be cheap and must tolerate concurrent invocation.
+pub fn set_observer(observer: Option<CellObserver>) {
+    *OBSERVER.write().expect("sweep observer lock") = observer;
+}
+
+fn current_observer() -> Option<CellObserver> {
+    OBSERVER.read().expect("sweep observer lock").clone()
+}
 
 /// Runs `job` on every item using up to `threads` scoped worker threads
 /// and returns the results in input order.
@@ -26,6 +45,19 @@ where
     if items.is_empty() {
         return Vec::new();
     }
+    // Resolve the observer once per sweep; with none installed the job
+    // runs untimed, exactly as before.
+    let observer = current_observer();
+    let job = |i: usize, it: &I| -> T {
+        if let Some(obs) = &observer {
+            let t0 = Instant::now();
+            let out = job(i, it);
+            obs(i, t0.elapsed().as_secs_f64() * 1e3);
+            out
+        } else {
+            job(i, it)
+        }
+    };
     let workers = threads.clamp(1, items.len());
     if workers == 1 {
         return items.iter().enumerate().map(|(i, it)| job(i, it)).collect();
@@ -120,5 +152,26 @@ mod tests {
         let items = ["a", "b", "c"];
         let out = sweep_with_threads(&items, 2, |i, &s| format!("{i}{s}"));
         assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn observer_sees_every_cell_without_changing_results() {
+        // The observer is process-global, so a concurrently running
+        // sweep test may also report cells into it; assert containment
+        // rather than exact equality.
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        set_observer(Some(Arc::new(move |cell, wall_ms| {
+            assert!(wall_ms >= 0.0);
+            sink.lock().expect("observer lock").push(cell);
+        })));
+        let items: Vec<usize> = (0..16).collect();
+        let out = sweep_with_threads(&items, 4, |_, &x| x * 3);
+        set_observer(None);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        let cells = seen.lock().expect("observer lock").clone();
+        for i in 0..items.len() {
+            assert!(cells.contains(&i), "cell {i} must be reported");
+        }
     }
 }

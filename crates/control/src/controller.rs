@@ -13,7 +13,7 @@
 use crate::conversion::{ConversionReport, DelayModel};
 use crate::distributed::PerSwitchChurn;
 use crate::resilient::{
-    run_conversion, ConversionError, ConversionOutcome, ConversionStatus, ConversionWork,
+    run_conversion_traced, ConversionError, ConversionOutcome, ConversionStatus, ConversionWork,
     RetryPolicy,
 };
 use flat_tree::{FlatTree, FlatTreeInstance, ModeAssignment, PodMode};
@@ -156,6 +156,21 @@ impl Controller {
         policy: &RetryPolicy,
         faults: &ControlFaults,
     ) -> Result<ConversionOutcome, ConversionError> {
+        self.convert_resilient_traced(to, policy, faults, &mut obs::NoopSink)
+    }
+
+    /// [`Controller::convert_resilient`] with a caller-supplied
+    /// [`obs::TraceSink`] receiving the conversion timeline
+    /// (`ConvStart` / `ConvAttempt` / `ConvStage` / `ConvEnd`). The
+    /// outcome — including every fault draw — is identical with any
+    /// sink.
+    pub fn convert_resilient_traced<S: obs::TraceSink>(
+        &self,
+        to: &ModeAssignment,
+        policy: &RetryPolicy,
+        faults: &ControlFaults,
+        sink: &mut S,
+    ) -> Result<ConversionOutcome, ConversionError> {
         let from = self.current_assignment();
         let old = self.artifacts(&from);
         let new = self.artifacts(to);
@@ -188,7 +203,8 @@ impl Controller {
                 "stage plan does not cover exactly the rule delta"
             );
         }
-        let outcome = run_conversion(&work, &from.label(), &to.label(), policy, faults)?;
+        let outcome =
+            run_conversion_traced(&work, &from.label(), &to.label(), policy, faults, sink)?;
         if outcome.status == ConversionStatus::Committed {
             *self.current.write() = to.clone();
         }

@@ -32,3 +32,5 @@ pub use conversion::{ConversionReport, DelayModel};
 pub use resilient::{
     ConversionError, ConversionOutcome, ConversionStatus, RetryPolicy, StageKind, StageTrace,
 };
+// Re-exported so traced callers need not depend on `obs` directly.
+pub use obs::{NoopSink, RingSink, TraceEvent, TraceSink};

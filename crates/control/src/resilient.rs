@@ -22,6 +22,7 @@
 
 use crate::conversion::{ConversionReport, DelayModel};
 use flowsim::faults::ControlFaults;
+use obs::{NoopSink, TraceEvent, TraceSink};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -135,6 +136,18 @@ pub enum StageKind {
 }
 
 impl StageKind {
+    /// Stable lowercase label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Ocs => "ocs",
+            Self::RuleDelete => "rule_delete",
+            Self::RuleAdd => "rule_add",
+            Self::RollbackOcs => "rollback_ocs",
+            Self::RollbackDelete => "rollback_delete",
+            Self::RollbackAdd => "rollback_add",
+        }
+    }
+
     fn salt(self) -> u64 {
         match self {
             Self::Ocs => 0x6f63_735f_7631_0001,
@@ -176,6 +189,17 @@ pub enum ConversionStatus {
     /// A forward stage *and* the rollback failed: the network is left in
     /// a mixed state and needs operator intervention.
     Degraded,
+}
+
+impl ConversionStatus {
+    /// Stable lowercase label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Committed => "committed",
+            Self::RolledBack => "rolledback",
+            Self::Degraded => "degraded",
+        }
+    }
 }
 
 /// Full outcome of a resilient conversion.
@@ -241,11 +265,15 @@ fn stage_rng(faults: &ControlFaults, stage: StageKind, shard: usize) -> ChaCha8R
 /// Runs the OCS stage (or its rollback twin): one attempt draws a
 /// timeout, then an outright failure, then succeeds. Returns the trace;
 /// `trace.ok` says whether the crosspoints switched.
-fn run_ocs_stage(
+///
+/// Emissions never touch the RNG, so the attempt/backoff trace is
+/// identical with any sink.
+fn run_ocs_stage<S: TraceSink>(
     kind: StageKind,
     delay: &DelayModel,
     policy: &RetryPolicy,
     faults: &ControlFaults,
+    sink: &mut S,
 ) -> StageTrace {
     let mut rng = stage_rng(faults, kind, 0);
     let mut trace = StageTrace {
@@ -266,14 +294,50 @@ fn run_ocs_stage(
         }
         if rng.gen_bool(faults.ocs_timeout_prob) {
             trace.elapsed_ms += policy.stage_timeout_ms;
+            if sink.enabled() {
+                sink.emit(TraceEvent::ConvAttempt {
+                    stage: kind.label().to_string(),
+                    shard: 0,
+                    attempt,
+                    outcome: "timeout".to_string(),
+                    cost_ms: policy.stage_timeout_ms,
+                });
+            }
             continue;
         }
         trace.elapsed_ms += delay.ocs_ms;
         if rng.gen_bool(faults.ocs_fail_prob) {
+            if sink.enabled() {
+                sink.emit(TraceEvent::ConvAttempt {
+                    stage: kind.label().to_string(),
+                    shard: 0,
+                    attempt,
+                    outcome: "fail".to_string(),
+                    cost_ms: delay.ocs_ms,
+                });
+            }
             continue;
         }
         trace.ok = true;
+        if sink.enabled() {
+            sink.emit(TraceEvent::ConvAttempt {
+                stage: kind.label().to_string(),
+                shard: 0,
+                attempt,
+                outcome: "ok".to_string(),
+                cost_ms: delay.ocs_ms,
+            });
+        }
         break;
+    }
+    if sink.enabled() {
+        sink.emit(TraceEvent::ConvStage {
+            stage: kind.label().to_string(),
+            shard: 0,
+            attempts: trace.attempts,
+            elapsed_ms: trace.elapsed_ms,
+            ok: trace.ok,
+        });
     }
     trace
 }
@@ -283,12 +347,13 @@ fn run_ocs_stage(
 /// a shard-crash draw costs the failover delay and makes no progress.
 /// Returns the per-shard traces, the stage wall-clock (max over shards),
 /// and the rules completed per shard.
-fn run_rule_stage(
+fn run_rule_stage<S: TraceSink>(
     kind: StageKind,
     shard_counts: &[usize],
     per_rule_ms: f64,
     policy: &RetryPolicy,
     faults: &ControlFaults,
+    sink: &mut S,
 ) -> (Vec<StageTrace>, f64, Vec<usize>) {
     let mut traces = Vec::with_capacity(shard_counts.len());
     let mut done = Vec::with_capacity(shard_counts.len());
@@ -317,11 +382,21 @@ fn run_rule_stage(
             }
             if rng.gen_bool(faults.shard_crash_prob) {
                 trace.elapsed_ms += faults.shard_recover_ms;
+                if sink.enabled() {
+                    sink.emit(TraceEvent::ConvAttempt {
+                        stage: kind.label().to_string(),
+                        shard,
+                        attempt,
+                        outcome: "crash".to_string(),
+                        cost_ms: faults.shard_recover_ms,
+                    });
+                }
                 continue;
             }
             // Every outstanding rule costs its update time this attempt;
             // failed rules stay outstanding for the next one.
-            trace.elapsed_ms += remaining as f64 * per_rule_ms;
+            let attempt_ms = remaining as f64 * per_rule_ms;
+            trace.elapsed_ms += attempt_ms;
             let mut failed = 0usize;
             for _ in 0..remaining {
                 if rng.gen_bool(faults.rule_fail_prob) {
@@ -329,10 +404,28 @@ fn run_rule_stage(
                 }
             }
             remaining = failed;
+            if sink.enabled() {
+                sink.emit(TraceEvent::ConvAttempt {
+                    stage: kind.label().to_string(),
+                    shard,
+                    attempt,
+                    outcome: if remaining == 0 { "ok" } else { "partial" }.to_string(),
+                    cost_ms: attempt_ms,
+                });
+            }
             if remaining == 0 {
                 trace.ok = true;
                 break;
             }
+        }
+        if sink.enabled() {
+            sink.emit(TraceEvent::ConvStage {
+                stage: kind.label().to_string(),
+                shard,
+                attempts: trace.attempts,
+                elapsed_ms: trace.elapsed_ms,
+                ok: trace.ok,
+            });
         }
         stage_ms = stage_ms.max(trace.elapsed_ms);
         done.push(count - remaining);
@@ -351,11 +444,36 @@ pub fn run_conversion(
     policy: &RetryPolicy,
     faults: &ControlFaults,
 ) -> Result<ConversionOutcome, ConversionError> {
+    run_conversion_traced(work, from_label, to_label, policy, faults, &mut NoopSink)
+}
+
+/// [`run_conversion`] with a caller-supplied [`TraceSink`] receiving the
+/// conversion timeline: `ConvStart`, one `ConvAttempt` per fault draw,
+/// one `ConvStage` span per `(stage, shard)` cell, and a terminal
+/// `ConvEnd`. Emission never draws from the fault RNG streams, so the
+/// outcome is identical with any sink.
+pub fn run_conversion_traced<S: TraceSink>(
+    work: &ConversionWork,
+    from_label: &str,
+    to_label: &str,
+    policy: &RetryPolicy,
+    faults: &ControlFaults,
+    sink: &mut S,
+) -> Result<ConversionOutcome, ConversionError> {
     policy.validate()?;
     faults.validate()?;
 
     let deletes: usize = work.per_switch.iter().map(|&(d, _)| d).sum();
     let adds: usize = work.per_switch.iter().map(|&(_, a)| a).sum();
+    if sink.enabled() {
+        sink.emit(TraceEvent::ConvStart {
+            from: from_label.to_string(),
+            to: to_label.to_string(),
+            crosspoints: work.crosspoints_changed,
+            deletes,
+            adds,
+        });
+    }
     let report = ConversionReport {
         from: from_label.to_string(),
         to: to_label.to_string(),
@@ -387,7 +505,7 @@ pub fn run_conversion(
     // Forward: OCS.
     let mut ocs_committed = false;
     if work.crosspoints_changed > 0 {
-        let t = run_ocs_stage(StageKind::Ocs, &work.delay, policy, faults);
+        let t = run_ocs_stage(StageKind::Ocs, &work.delay, policy, faults, sink);
         total_ms += t.elapsed_ms;
         let ok = t.ok;
         ocs_committed = ok;
@@ -401,6 +519,7 @@ pub fn run_conversion(
                 stages,
                 Some(from_label.to_string()),
                 total_ms,
+                sink,
             ));
         }
     }
@@ -412,6 +531,7 @@ pub fn run_conversion(
         work.delay.per_rule_delete_ms,
         policy,
         faults,
+        sink,
     );
     let delete_ok = del_traces.iter().all(|t| t.ok);
     total_ms += del_ms;
@@ -430,6 +550,7 @@ pub fn run_conversion(
             policy,
             faults,
             total_ms,
+            sink,
         );
     }
 
@@ -440,6 +561,7 @@ pub fn run_conversion(
         work.delay.per_rule_add_ms,
         policy,
         faults,
+        sink,
     );
     let add_ok = add_traces.iter().all(|t| t.ok);
     total_ms += add_ms;
@@ -458,6 +580,7 @@ pub fn run_conversion(
             policy,
             faults,
             total_ms,
+            sink,
         );
     }
 
@@ -467,6 +590,7 @@ pub fn run_conversion(
         stages,
         None,
         total_ms,
+        sink,
     ))
 }
 
@@ -484,7 +608,7 @@ struct RollbackWork {
 /// fault model and retry policy. Any rollback stage failing persistently
 /// degrades the network.
 #[allow(clippy::too_many_arguments)]
-fn rollback(
+fn rollback<S: TraceSink>(
     undo: RollbackWork,
     work: &ConversionWork,
     report: ConversionReport,
@@ -493,6 +617,7 @@ fn rollback(
     policy: &RetryPolicy,
     faults: &ControlFaults,
     mut total_ms: f64,
+    sink: &mut S,
 ) -> Result<ConversionOutcome, ConversionError> {
     let target = Some(from_label.to_string());
 
@@ -504,6 +629,7 @@ fn rollback(
             work.delay.per_rule_delete_ms,
             policy,
             faults,
+            sink,
         );
         let ok = traces.iter().all(|t| t.ok);
         total_ms += ms;
@@ -515,6 +641,7 @@ fn rollback(
                 stages,
                 target,
                 total_ms,
+                sink,
             ));
         }
     }
@@ -527,6 +654,7 @@ fn rollback(
             work.delay.per_rule_add_ms,
             policy,
             faults,
+            sink,
         );
         let ok = traces.iter().all(|t| t.ok);
         total_ms += ms;
@@ -538,6 +666,7 @@ fn rollback(
                 stages,
                 target,
                 total_ms,
+                sink,
             ));
         }
     }
@@ -545,7 +674,7 @@ fn rollback(
     // Reverse the crosspoints last (the forward pass switched them
     // first).
     if undo.reverse_ocs {
-        let t = run_ocs_stage(StageKind::RollbackOcs, &work.delay, policy, faults);
+        let t = run_ocs_stage(StageKind::RollbackOcs, &work.delay, policy, faults, sink);
         total_ms += t.elapsed_ms;
         let ok = t.ok;
         stages.push(t);
@@ -556,6 +685,7 @@ fn rollback(
                 stages,
                 target,
                 total_ms,
+                sink,
             ));
         }
     }
@@ -566,17 +696,26 @@ fn rollback(
         stages,
         target,
         total_ms,
+        sink,
     ))
 }
 
-fn finish(
+fn finish<S: TraceSink>(
     status: ConversionStatus,
     report: ConversionReport,
     stages: Vec<StageTrace>,
     rollback_to: Option<String>,
     total_ms: f64,
+    sink: &mut S,
 ) -> ConversionOutcome {
-    let total_retries = stages.iter().map(|t| t.attempts.saturating_sub(1)).sum();
+    let total_retries: u32 = stages.iter().map(|t| t.attempts.saturating_sub(1)).sum();
+    if sink.enabled() {
+        sink.emit(TraceEvent::ConvEnd {
+            status: status.label().to_string(),
+            total_ms,
+            retries: total_retries,
+        });
+    }
     ConversionOutcome {
         status,
         report,
@@ -753,6 +892,78 @@ mod tests {
         let other = ControlFaults { seed: 8, ..faults };
         let c = run_conversion(&work(), "clos", "global", &policy, &other).expect("valid");
         assert_ne!(a.stages, c.stages);
+    }
+
+    /// Tracing must be a pure observer: same outcome with any sink, and
+    /// a timeline whose spans reconcile with the returned stage traces.
+    #[test]
+    fn traced_conversion_is_identical_and_coherent() {
+        let faults = ControlFaults {
+            seed: 7,
+            ocs_timeout_prob: 0.3,
+            rule_fail_prob: 0.01,
+            shard_crash_prob: 0.1,
+            shard_recover_ms: 250.0,
+            ..ControlFaults::none()
+        };
+        let policy = RetryPolicy {
+            shards: 3,
+            ..RetryPolicy::default()
+        };
+        let plain = run_conversion(&work(), "clos", "global", &policy, &faults).expect("valid");
+        let mut ring = obs::RingSink::unbounded();
+        let traced = run_conversion_traced(&work(), "clos", "global", &policy, &faults, &mut ring)
+            .expect("valid");
+        assert_eq!(plain, traced, "sink must not perturb the fault draws");
+
+        let events = ring.into_events();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::ConvStart {
+                crosspoints: 16,
+                deletes: 280,
+                adds: 330,
+                ..
+            })
+        ));
+        match events.last() {
+            Some(TraceEvent::ConvEnd {
+                status,
+                total_ms,
+                retries,
+            }) => {
+                assert_eq!(status, traced.status.label());
+                assert_eq!(total_ms.to_bits(), traced.total_ms.to_bits());
+                assert_eq!(*retries, traced.total_retries);
+            }
+            other => panic!("last event must be ConvEnd, got {other:?}"),
+        }
+        // One ConvStage span per returned StageTrace, same data.
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ConvStage {
+                    stage,
+                    shard,
+                    attempts,
+                    elapsed_ms,
+                    ok,
+                } => Some((stage.as_str(), *shard, *attempts, *elapsed_ms, *ok)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), traced.stages.len());
+        for (span, t) in spans.iter().zip(&traced.stages) {
+            assert_eq!(span.0, t.stage.label());
+            assert_eq!(span.1, t.shard);
+            assert_eq!(span.2, t.attempts);
+            assert_eq!(span.3.to_bits(), t.elapsed_ms.to_bits());
+            assert_eq!(span.4, t.ok);
+        }
+        // Attempts reconcile: per-cell ConvAttempt count == attempts.
+        let attempts: u32 = events.iter().filter(|e| e.name() == "ConvAttempt").count() as u32;
+        let expected: u32 = traced.stages.iter().map(|t| t.attempts).sum();
+        assert_eq!(attempts, expected);
     }
 
     #[test]

@@ -49,6 +49,16 @@
 //! over a dead link and that routing state stayed consistent after every
 //! fault event.
 
+//!
+//! # Observability
+//!
+//! Every entry point has a `*_traced` twin taking a
+//! [`TraceSink`] that receives the flow lifecycle
+//! (start / reroute / park / revive / finish), per-epoch allocator and
+//! link-utilization events, and applied fault events. The plain entry
+//! points pass [`NoopSink`]; its emission guards compile away, so the
+//! un-traced engine is bit-identical and pays nothing.
+
 pub mod alloc;
 pub mod error;
 pub mod failures;
@@ -62,7 +72,11 @@ pub use failures::FailedLinks;
 pub use faults::{AuditReport, ControlFaults, FaultPlan, FaultSchedule, LinkEvent, StuckConfig};
 pub use provider::{EcmpProvider, MptcpProvider, PathProvider, RoutedConn};
 pub use sim::{
-    simulate, simulate_under_faults, simulate_under_faults_with_provider, simulate_with_provider,
-    try_simulate, try_simulate_with_provider, FaultSimOutcome, FlowRecord, FlowSpec, LinkFailure,
+    simulate, simulate_under_faults, simulate_under_faults_traced,
+    simulate_under_faults_with_provider, simulate_under_faults_with_provider_traced,
+    simulate_with_provider, try_simulate, try_simulate_traced, try_simulate_with_provider,
+    try_simulate_with_provider_traced, FaultSimOutcome, FlowRecord, FlowSpec, LinkFailure,
     SimConfig, SimResult, Transport,
 };
+// Re-exported so traced callers need not depend on `obs` directly.
+pub use obs::{JsonlSink, NoopSink, ParkCause, RingSink, TraceEvent, TraceSink};

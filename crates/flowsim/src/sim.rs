@@ -15,6 +15,7 @@ use crate::faults::{AuditReport, FaultSchedule, LinkEvent};
 use crate::provider::{EcmpProvider, MptcpProvider, PathProvider};
 use mcf::AllocWorkspace;
 use netgraph::{Graph, LinkId, NodeId, PathArena, PathId};
+use obs::{NoopSink, ParkCause, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Bytes below which a flow counts as finished (flows are KB-scale+).
@@ -135,28 +136,49 @@ pub struct SimResult {
 
 impl SimResult {
     /// Completed FCTs in seconds, sorted ascending (CDF material).
+    ///
+    /// Total order via [`f64::total_cmp`]: a degenerate (NaN) FCT in a
+    /// hand-built record sorts last instead of panicking the sort.
     pub fn sorted_fcts(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.records.iter().filter_map(|r| r.fct()).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("engine produces finite FCTs"));
+        v.sort_by(f64::total_cmp);
         v
     }
 
-    /// Mean FCT over completed flows.
+    /// Mean FCT over completed flows. Incomplete flows — including
+    /// connections parked by a fault schedule and never revived — carry
+    /// no FCT and are excluded here; they still count against
+    /// [`completed_fraction`](Self::completed_fraction).
     pub fn mean_fct(&self) -> Option<f64> {
         let v = self.sorted_fcts();
         (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
     }
 
-    /// Fraction of input flows that completed.
+    /// Fraction of input flows that completed. The denominator is
+    /// **every** input flow: unroutable, stalled, and
+    /// parked-never-revived (degraded) flows all count as incomplete —
+    /// they never vanish from [`records`](Self::records).
     pub fn completed_fraction(&self) -> f64 {
         if self.records.is_empty() {
             return 1.0;
         }
-        self.records.iter().filter(|r| r.finish.is_some()).count() as f64
-            / self.records.len() as f64
+        self.completed_count() as f64 / self.records.len() as f64
     }
 
-    /// Mean per-flow average goodput (Gbps) over completed flows.
+    /// Number of flows that completed.
+    pub fn completed_count(&self) -> usize {
+        self.records.iter().filter(|r| r.finish.is_some()).count()
+    }
+
+    /// Number of flows that never finished (unroutable, stalled, or
+    /// parked by a fault schedule without a later recovery).
+    pub fn unfinished_count(&self) -> usize {
+        self.records.len() - self.completed_count()
+    }
+
+    /// Mean per-flow average goodput (Gbps) over completed flows (the
+    /// paper's per-flow throughput metric; incomplete flows have no
+    /// defined average rate).
     pub fn mean_rate_gbps(&self) -> Option<f64> {
         let v: Vec<f64> = self
             .records
@@ -164,6 +186,19 @@ impl SimResult {
             .filter_map(|r| r.avg_rate_gbps())
             .collect();
         (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// Mean goodput (Gbps) over **all** input flows, counting every
+    /// incomplete flow as zero. Unlike
+    /// [`mean_rate_gbps`](Self::mean_rate_gbps), degraded flows do not
+    /// vanish from the denominator — this is the honest workload-level
+    /// number for runs under faults.
+    pub fn workload_mean_rate_gbps(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.records.iter().filter_map(|r| r.avg_rate_gbps()).sum();
+        sum / self.records.len() as f64
     }
 }
 
@@ -230,11 +265,30 @@ pub fn simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> SimResult {
 
 /// [`simulate`] with typed input validation instead of panics.
 pub fn try_simulate(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> Result<SimResult, SimError> {
+    try_simulate_traced(g, flows, cfg, &mut NoopSink)
+}
+
+/// [`try_simulate`] with a caller-supplied [`TraceSink`] receiving the
+/// flow-lifecycle and per-epoch events. With [`NoopSink`] this **is**
+/// [`try_simulate`]: the guard blocks compile away and the result is
+/// bit-identical.
+pub fn try_simulate_traced<S: TraceSink>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
     match cfg.transport {
-        Transport::TcpEcmp => try_simulate_with_provider(g, flows, cfg, &mut EcmpProvider::new()),
-        Transport::Mptcp { k, coupled } => {
-            try_simulate_with_provider(g, flows, cfg, &mut MptcpProvider::new(k, coupled))
+        Transport::TcpEcmp => {
+            try_simulate_with_provider_traced(g, flows, cfg, &mut EcmpProvider::new(), sink)
         }
+        Transport::Mptcp { k, coupled } => try_simulate_with_provider_traced(
+            g,
+            flows,
+            cfg,
+            &mut MptcpProvider::new(k, coupled),
+            sink,
+        ),
     }
 }
 
@@ -265,8 +319,19 @@ pub fn try_simulate_with_provider<P: PathProvider + ?Sized>(
     cfg: &SimConfig,
     provider: &mut P,
 ) -> Result<SimResult, SimError> {
+    try_simulate_with_provider_traced(g, flows, cfg, provider, &mut NoopSink)
+}
+
+/// [`try_simulate_with_provider`] with a caller-supplied [`TraceSink`].
+pub fn try_simulate_with_provider_traced<P: PathProvider + ?Sized, S: TraceSink>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    provider: &mut P,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
     validate_inputs(g, flows, cfg)?;
-    Ok(run_engine(g, flows, cfg, provider, &[], None))
+    Ok(run_engine(g, flows, cfg, provider, &[], None, sink))
 }
 
 /// Runs the fluid simulation under a compiled fault schedule, with the
@@ -284,16 +349,35 @@ pub fn simulate_under_faults(
     cfg: &SimConfig,
     schedule: &FaultSchedule,
 ) -> Result<FaultSimOutcome, SimError> {
+    simulate_under_faults_traced(g, flows, cfg, schedule, &mut NoopSink)
+}
+
+/// [`simulate_under_faults`] with a caller-supplied [`TraceSink`]: the
+/// sink additionally sees every applied fault event (`LinkDown` /
+/// `LinkUp`) and the park/revive lifecycle.
+pub fn simulate_under_faults_traced<S: TraceSink>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    sink: &mut S,
+) -> Result<FaultSimOutcome, SimError> {
     match cfg.transport {
-        Transport::TcpEcmp => {
-            simulate_under_faults_with_provider(g, flows, cfg, schedule, &mut EcmpProvider::new())
-        }
-        Transport::Mptcp { k, coupled } => simulate_under_faults_with_provider(
+        Transport::TcpEcmp => simulate_under_faults_with_provider_traced(
+            g,
+            flows,
+            cfg,
+            schedule,
+            &mut EcmpProvider::new(),
+            sink,
+        ),
+        Transport::Mptcp { k, coupled } => simulate_under_faults_with_provider_traced(
             g,
             flows,
             cfg,
             schedule,
             &mut MptcpProvider::new(k, coupled),
+            sink,
         ),
     }
 }
@@ -305,6 +389,19 @@ pub fn simulate_under_faults_with_provider<P: PathProvider + ?Sized>(
     cfg: &SimConfig,
     schedule: &FaultSchedule,
     provider: &mut P,
+) -> Result<FaultSimOutcome, SimError> {
+    simulate_under_faults_with_provider_traced(g, flows, cfg, schedule, provider, &mut NoopSink)
+}
+
+/// [`simulate_under_faults_with_provider`] with a caller-supplied
+/// [`TraceSink`].
+pub fn simulate_under_faults_with_provider_traced<P: PathProvider + ?Sized, S: TraceSink>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    provider: &mut P,
+    sink: &mut S,
 ) -> Result<FaultSimOutcome, SimError> {
     validate_inputs(g, flows, cfg)?;
     for ev in &schedule.events {
@@ -318,19 +415,33 @@ pub fn simulate_under_faults_with_provider<P: PathProvider + ?Sized>(
         }
     }
     let mut audit = AuditReport::default();
-    let result = run_engine(g, flows, cfg, provider, &schedule.events, Some(&mut audit));
+    let result = run_engine(
+        g,
+        flows,
+        cfg,
+        provider,
+        &schedule.events,
+        Some(&mut audit),
+        sink,
+    );
     Ok(FaultSimOutcome { result, audit })
 }
 
 /// The event loop. `schedule` must be sorted by time; an empty schedule
 /// with no auditor reproduces the pre-fault-plane engine bit for bit.
-fn run_engine<P: PathProvider + ?Sized>(
+///
+/// Every `sink` emission site is guarded by
+/// [`TraceSink::enabled`]; with [`NoopSink`] the guards (and event
+/// construction) compile away, so tracing never perturbs the
+/// simulation.
+fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
     g: &Graph,
     flows: &[FlowSpec],
     cfg: &SimConfig,
     provider: &mut P,
     schedule: &[LinkEvent],
     mut audit: Option<&mut AuditReport>,
+    sink: &mut S,
 ) -> SimResult {
     let mut caps = g.capacities();
     // Pristine capacities, for restoring a link on a recovery event.
@@ -380,6 +491,8 @@ fn run_engine<P: PathProvider + ?Sized>(
     // per-connection rates.
     let mut owner: Vec<u32> = Vec::new();
     let mut rates: Vec<f64> = Vec::new();
+    // Per-link carried rate, only touched when the sink is live.
+    let mut util_used: Vec<f64> = Vec::new();
 
     loop {
         // Allocate under the current active set. Entities are pushed in
@@ -393,7 +506,8 @@ fn run_engine<P: PathProvider + ?Sized>(
                 owner.push(ci as u32);
             }
         }
-        let sub_rates = ws.allocate(&caps);
+        ws.allocate(&caps);
+        let sub_rates = ws.rates();
         if let Some(rep) = audit.as_deref_mut() {
             // Invariant 1: no subflow carries rate over a down link.
             let mut si = 0usize;
@@ -406,6 +520,51 @@ fn run_engine<P: PathProvider + ?Sized>(
                     si += 1;
                 }
             }
+        }
+        if sink.enabled() {
+            sink.emit(TraceEvent::Alloc {
+                t,
+                conns: active.len(),
+                subflows: owner.len(),
+                rounds: ws.last_rounds(),
+            });
+            // Per-epoch link-utilization histogram over links that
+            // currently carry capacity.
+            util_used.clear();
+            util_used.resize(caps.len(), 0.0);
+            let mut si = 0usize;
+            for a in &active {
+                for &pid in &a.path_ids {
+                    let r = sub_rates[si];
+                    si += 1;
+                    if r > 0.0 {
+                        for l in arena.links(pid) {
+                            util_used[l.idx()] += r;
+                        }
+                    }
+                }
+            }
+            let mut deciles = [0u32; 10];
+            let mut saturated = 0u32;
+            let mut busiest = 0.0f64;
+            for (l, &cap) in caps.iter().enumerate() {
+                if cap > 0.0 {
+                    let u = util_used[l] / cap;
+                    deciles[((u * 10.0) as usize).min(9)] += 1;
+                    if u >= 0.999 {
+                        saturated += 1;
+                    }
+                    if u > busiest {
+                        busiest = u;
+                    }
+                }
+            }
+            sink.emit(TraceEvent::LinkUtil {
+                t,
+                deciles,
+                saturated,
+                busiest,
+            });
         }
         rates.clear();
         rates.resize(active.len(), 0.0);
@@ -449,6 +608,13 @@ fn run_engine<P: PathProvider + ?Sized>(
         while i < active.len() {
             if active[i].remaining <= DONE_BYTES {
                 records[active[i].rec_idx].finish = Some(t);
+                if sink.enabled() {
+                    sink.emit(TraceEvent::FlowFinish {
+                        t,
+                        flow: active[i].spec.id,
+                        fct: t - active[i].spec.start,
+                    });
+                }
                 active.swap_remove(i);
             } else {
                 i += 1;
@@ -460,16 +626,32 @@ fn run_engine<P: PathProvider + ?Sized>(
             next_arrival += 1;
             let spec = flows[idx];
             match provider.route(g, &mut arena, &failed, &spec) {
-                Some(conn) => active.push(Active {
-                    rec_idx: idx,
-                    spec,
-                    remaining: spec.bytes,
-                    path_ids: conn.path_ids,
-                    subflow_weight: conn.subflow_weight,
-                }),
+                Some(conn) => {
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::FlowStart {
+                            t,
+                            flow: spec.id,
+                            paths: conn.path_ids.len(),
+                        });
+                    }
+                    active.push(Active {
+                        rec_idx: idx,
+                        spec,
+                        remaining: spec.bytes,
+                        path_ids: conn.path_ids,
+                        subflow_weight: conn.subflow_weight,
+                    });
+                }
                 None if has_faults => {
                     // Unroutable during a partition: wait parked for a
                     // recovery event instead of never finishing.
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::FlowPark {
+                            t,
+                            flow: spec.id,
+                            cause: ParkCause::Arrival,
+                        });
+                    }
                     parked.push(Active {
                         rec_idx: idx,
                         spec,
@@ -481,7 +663,12 @@ fn run_engine<P: PathProvider + ?Sized>(
                         rep.parked += 1;
                     }
                 }
-                None => { /* unroutable: record stays unfinished */ }
+                None => {
+                    // Unroutable: record stays unfinished.
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::FlowUnroutable { t, flow: spec.id });
+                    }
+                }
             }
         }
         // Failures (legacy down-only list).
@@ -492,9 +679,18 @@ fn run_engine<P: PathProvider + ?Sized>(
             next_failure += 1;
             failed.fail(f.link);
             caps[f.link.idx()] = 0.0;
+            if sink.enabled() {
+                sink.emit(TraceEvent::LinkDown {
+                    t,
+                    link: f.link.idx(),
+                });
+            }
             if let Some(rev) = g.link(f.link).reverse {
                 failed.fail(rev);
                 caps[rev.idx()] = 0.0;
+                if sink.enabled() {
+                    sink.emit(TraceEvent::LinkDown { t, link: rev.idx() });
+                }
             }
             failed_now = true;
         }
@@ -509,10 +705,22 @@ fn run_engine<P: PathProvider + ?Sized>(
                 if failed.recover(ev.link) {
                     caps[ev.link.idx()] = base_caps[ev.link.idx()];
                     recovered_now = true;
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::LinkUp {
+                            t,
+                            link: ev.link.idx(),
+                        });
+                    }
                 }
             } else if failed.fail(ev.link) {
                 caps[ev.link.idx()] = 0.0;
                 failed_now = true;
+                if sink.enabled() {
+                    sink.emit(TraceEvent::LinkDown {
+                        t,
+                        link: ev.link.idx(),
+                    });
+                }
             }
         }
         if recovered_now {
@@ -528,6 +736,13 @@ fn run_engine<P: PathProvider + ?Sized>(
                     a.path_ids
                         .retain(|&pid| failed.path_alive(arena.links(pid)));
                 }
+                if sink.enabled() {
+                    sink.emit(TraceEvent::FlowReroute {
+                        t,
+                        flow: spec.id,
+                        paths: a.path_ids.len(),
+                    });
+                }
             }
             let mut still_parked = Vec::new();
             for mut a in parked.drain(..) {
@@ -537,6 +752,13 @@ fn run_engine<P: PathProvider + ?Sized>(
                     a.subflow_weight = conn.subflow_weight;
                     if let Some(rep) = audit.as_deref_mut() {
                         rep.revived += 1;
+                    }
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::FlowRevive {
+                            t,
+                            flow: spec.id,
+                            paths: a.path_ids.len(),
+                        });
                     }
                     active.push(a);
                 } else {
@@ -561,6 +783,13 @@ fn run_engine<P: PathProvider + ?Sized>(
                         a.path_ids
                             .retain(|&pid| failed.path_alive(arena.links(pid)));
                     }
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::FlowReroute {
+                            t,
+                            flow: spec.id,
+                            paths: a.path_ids.len(),
+                        });
+                    }
                 }
             }
         }
@@ -571,6 +800,13 @@ fn run_engine<P: PathProvider + ?Sized>(
                 let mut i = 0;
                 while i < active.len() {
                     if active[i].path_ids.is_empty() {
+                        if sink.enabled() {
+                            sink.emit(TraceEvent::FlowPark {
+                                t,
+                                flow: active[i].spec.id,
+                                cause: ParkCause::PathLoss,
+                            });
+                        }
                         parked.push(active.remove(i));
                         if let Some(rep) = audit.as_deref_mut() {
                             rep.parked += 1;
@@ -598,6 +834,15 @@ fn run_engine<P: PathProvider + ?Sized>(
                 }
             }
         }
+    }
+
+    if sink.enabled() {
+        let completed = records.iter().filter(|r| r.finish.is_some()).count();
+        sink.emit(TraceEvent::SimEnd {
+            t,
+            completed,
+            unfinished: records.len() - completed,
+        });
     }
 
     SimResult {
@@ -941,6 +1186,169 @@ mod tests {
         assert!((fct - 1.0).abs() < 1e-6, "fct = {fct}");
         assert_eq!(out.audit.violations(), 0);
         assert_eq!(out.audit.events_applied, 8); // 2 cables × 2 dirs × 2
+    }
+
+    /// Regression (PR 4): a degenerate NaN FCT in a hand-built record
+    /// must sort last instead of panicking the comparator.
+    #[test]
+    fn sorted_fcts_survives_nan_records() {
+        let res = SimResult {
+            records: vec![
+                FlowRecord {
+                    id: 0,
+                    start: 0.0,
+                    finish: Some(2.0),
+                    bytes: 1.0,
+                },
+                FlowRecord {
+                    id: 1,
+                    start: f64::NAN,
+                    finish: Some(1.0), // fct = 1.0 - NaN = NaN
+                    bytes: 1.0,
+                },
+                FlowRecord {
+                    id: 2,
+                    start: 0.5,
+                    finish: Some(1.0),
+                    bytes: 1.0,
+                },
+                FlowRecord {
+                    id: 3,
+                    start: 0.0,
+                    finish: None,
+                    bytes: 1.0,
+                },
+            ],
+            series: Vec::new(),
+            end_time: 2.0,
+        };
+        let fcts = res.sorted_fcts(); // must not panic
+        assert_eq!(fcts.len(), 3);
+        assert_eq!(fcts[0], 0.5);
+        assert_eq!(fcts[1], 2.0);
+        assert!(fcts[2].is_nan(), "NaN sorts last under total_cmp");
+    }
+
+    /// Accounting pin (PR 4): a parked-and-never-revived flow stays in
+    /// `records` as incomplete — it drags `completed_fraction` and
+    /// `workload_mean_rate_gbps` down but is excluded from the
+    /// completed-only `mean_fct` / `mean_rate_gbps`.
+    #[test]
+    fn parked_never_revived_counts_as_incomplete() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0), // crosses core: parked forever
+            spec(1, s[2], s[3], 1.25e9, 0.0), // intra-rack: completes at 1 s
+        ];
+        let mut plan = crate::faults::FaultPlan::new(1);
+        plan.flap(core, 0.5, None); // permanent fault
+        let sched = plan.compile(&g).expect("valid plan");
+        let out =
+            simulate_under_faults(&g, &flows, &SimConfig::default(), &sched).expect("valid input");
+        let res = &out.result;
+        assert_eq!(out.audit.parked, 1);
+        assert_eq!(out.audit.revived, 0);
+        // The parked flow never vanishes from the records.
+        assert_eq!(res.records.len(), 2);
+        assert_eq!(res.records[0].finish, None);
+        assert_eq!(res.completed_count(), 1);
+        assert_eq!(res.unfinished_count(), 1);
+        assert!((res.completed_fraction() - 0.5).abs() < 1e-12);
+        // Completed-only metrics see just the intra-rack flow.
+        assert!((res.mean_fct().unwrap() - 1.0).abs() < 1e-9);
+        assert!((res.mean_rate_gbps().unwrap() - 10.0).abs() < 1e-9);
+        // The workload-level mean counts the parked flow as zero.
+        assert!((res.workload_mean_rate_gbps() - 5.0).abs() < 1e-9);
+    }
+
+    /// The traced entry point with a `NoopSink` is the plain entry
+    /// point: bit-identical records, series, and end time.
+    #[test]
+    fn noop_traced_is_bit_identical() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0),
+            spec(1, s[1], s[3], 0.625e9, 0.25),
+        ];
+        let cfg = SimConfig {
+            link_failures: vec![LinkFailure {
+                time: 0.5,
+                link: core,
+            }],
+            record_series: true,
+            ..SimConfig::default()
+        };
+        let plain = simulate(&g, &flows, &cfg);
+        let traced = try_simulate_traced(&g, &flows, &cfg, &mut NoopSink).expect("valid input");
+        assert_eq!(plain.records, traced.records);
+        assert_eq!(plain.series.len(), traced.series.len());
+        for (a, b) in plain.series.iter().zip(&traced.series) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert_eq!(plain.end_time.to_bits(), traced.end_time.to_bits());
+    }
+
+    /// The traced run must not perturb the simulation: same records as
+    /// the un-traced run, plus a coherent event stream (starts, park /
+    /// revive around the flap, one finish per completed flow, SimEnd
+    /// tallies matching the result).
+    #[test]
+    fn trace_stream_matches_lifecycle() {
+        let (g, s, core) = dumbbell();
+        let flows = vec![
+            spec(0, s[0], s[2], 1.25e9, 0.0),
+            spec(1, s[0], s[1], 1.25e9, 0.0),
+        ];
+        let mut plan = crate::faults::FaultPlan::new(1);
+        plan.flap(core, 0.5, Some(2.0));
+        let sched = plan.compile(&g).expect("valid plan");
+        let cfg = SimConfig::default();
+        let plain = simulate_under_faults(&g, &flows, &cfg, &sched).expect("valid input");
+        let mut ring = obs::RingSink::unbounded();
+        let traced =
+            simulate_under_faults_traced(&g, &flows, &cfg, &sched, &mut ring).expect("valid input");
+        assert_eq!(plain.result.records, traced.result.records);
+        let events = ring.into_events();
+        let count = |name: &str| events.iter().filter(|e| e.name() == name).count();
+        assert_eq!(count("FlowStart"), 2);
+        assert_eq!(count("FlowFinish"), traced.result.completed_count());
+        assert_eq!(count("FlowPark"), traced.audit.parked as usize);
+        assert_eq!(count("FlowRevive"), traced.audit.revived as usize);
+        assert_eq!(count("LinkDown"), 2); // core cable, both directions
+        assert_eq!(count("LinkUp"), 2);
+        assert_eq!(count("SimEnd"), 1);
+        assert!(count("Alloc") > 0, "one Alloc per epoch");
+        assert_eq!(count("Alloc"), count("LinkUtil"));
+        match events.last().expect("stream not empty") {
+            TraceEvent::SimEnd {
+                completed,
+                unfinished,
+                ..
+            } => {
+                assert_eq!(*completed, traced.result.completed_count());
+                assert_eq!(*unfinished, traced.result.unfinished_count());
+            }
+            other => panic!("last event must be SimEnd, got {other:?}"),
+        }
+        // Park / revive lifecycle of the core-crossing flow.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::FlowPark {
+                flow: 0,
+                cause: ParkCause::PathLoss,
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FlowRevive { flow: 0, .. })));
+        // Every LinkUtil stays within [0, 1] utilization.
+        for e in &events {
+            if let TraceEvent::LinkUtil { busiest, .. } = e {
+                assert!((0.0..=1.0 + 1e-9).contains(busiest), "busiest {busiest}");
+            }
+        }
     }
 
     /// Refactored engine vs the preserved pre-refactor engine: identical

@@ -32,6 +32,8 @@ pub struct AllocWorkspace {
     live_links: Vec<usize>,
     victims: Vec<u32>,
     rates: Vec<f64>,
+    // Filling rounds of the most recent allocate() call (observability).
+    last_rounds: u32,
 }
 
 impl AllocWorkspace {
@@ -76,6 +78,7 @@ impl AllocWorkspace {
     /// equivalent input.
     pub fn allocate(&mut self, capacity: &[f64]) -> &[f64] {
         let n = self.ent_weight.len();
+        self.last_rounds = 0;
         self.rates.clear();
         self.rates.resize(n, 0.0);
         if n == 0 {
@@ -114,6 +117,7 @@ impl AllocWorkspace {
             .extend((0..capacity.len()).filter(|&l| self.act_w[l] > 1e-12));
 
         while remaining > 0 {
+            self.last_rounds += 1;
             // Most contended share among live links.
             let mut min_share = f64::INFINITY;
             for &l in &self.live_links {
@@ -164,6 +168,14 @@ impl AllocWorkspace {
     /// Rates from the most recent [`allocate`](Self::allocate) call.
     pub fn rates(&self) -> &[f64] {
         &self.rates
+    }
+
+    /// Progressive-filling rounds the most recent
+    /// [`allocate`](Self::allocate) call took to converge (0 before any
+    /// call or for an empty entity set) — the allocator-iteration
+    /// counter surfaced by the engine's `Alloc` trace events.
+    pub fn last_rounds(&self) -> u32 {
+        self.last_rounds
     }
 }
 
@@ -272,6 +284,25 @@ mod tests {
         let mut ws = AllocWorkspace::new();
         assert!(ws.allocate(&[5.0]).is_empty());
         assert_eq!(ws.num_entities(), 0);
+        assert_eq!(ws.last_rounds(), 0);
+    }
+
+    #[test]
+    fn rounds_counter_tracks_filling_iterations() {
+        let mut ws = AllocWorkspace::new();
+        assert_eq!(ws.last_rounds(), 0);
+        // Two entities on one shared link: a single filling round.
+        ws.push_entity(1.0, [0usize]);
+        ws.push_entity(1.0, [0usize]);
+        ws.allocate(&[10.0]);
+        assert_eq!(ws.last_rounds(), 1);
+        // Asymmetric two-link chain: the 4.0 link freezes first, then
+        // the leftover entity fills the 10.0 link — two rounds.
+        ws.clear();
+        ws.push_entity(1.0, [0usize, 1]);
+        ws.push_entity(1.0, [1usize]);
+        ws.allocate(&[4.0, 10.0]);
+        assert_eq!(ws.last_rounds(), 2);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The shared trace-event vocabulary.
+//!
+//! One enum covers the three instrumented layers so any sink can absorb
+//! any stream. Variants serialize externally tagged
+//! (`{"FlowStart":{...}}`), one JSON object per event — the JSONL
+//! framing is the sink's job ([`crate::JsonlSink`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Why a connection was parked by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParkCause {
+    /// Arrived while its endpoints were partitioned.
+    Arrival,
+    /// Lost every path to a fault event mid-flight.
+    PathLoss,
+}
+
+/// One observable occurrence in the engine, the controller, or the
+/// sweep driver. Times `t` are simulation seconds; `*_ms` are modeled
+/// milliseconds; `wall_ms` are measured host milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    // --- flowsim: flow lifecycle -------------------------------------
+    /// A flow arrived and was routed onto `paths` subflow paths.
+    FlowStart { t: f64, flow: u64, paths: usize },
+    /// A connection was re-routed after a fault/recovery event; `paths`
+    /// is the surviving (or refreshed) path count.
+    FlowReroute { t: f64, flow: u64, paths: usize },
+    /// A connection lost every path (or arrived unroutable under an
+    /// active fault schedule) and waits for recovery.
+    FlowPark { t: f64, flow: u64, cause: ParkCause },
+    /// A parked connection was revived by a recovery event.
+    FlowRevive { t: f64, flow: u64, paths: usize },
+    /// A flow drained its last byte.
+    FlowFinish { t: f64, flow: u64, fct: f64 },
+    /// A flow arrived unroutable with no fault schedule active; it will
+    /// never finish.
+    FlowUnroutable { t: f64, flow: u64 },
+
+    // --- flowsim: epochs and failures --------------------------------
+    /// One allocator epoch: `conns` active connections fanned into
+    /// `subflows` rate entities, converged in `rounds` filling rounds.
+    Alloc {
+        t: f64,
+        conns: usize,
+        subflows: usize,
+        rounds: u32,
+    },
+    /// Per-epoch link-utilization histogram over links carrying
+    /// capacity: `deciles[i]` counts links with utilization in
+    /// `[i/10, (i+1)/10)`, `saturated` counts links at >= 99.9%.
+    LinkUtil {
+        t: f64,
+        deciles: [u32; 10],
+        saturated: u32,
+        busiest: f64,
+    },
+    /// A directed link went down at `t`.
+    LinkDown { t: f64, link: usize },
+    /// A directed link recovered at `t`.
+    LinkUp { t: f64, link: usize },
+    /// The event loop drained: final tallies.
+    SimEnd {
+        t: f64,
+        completed: usize,
+        unfinished: usize,
+    },
+
+    // --- control::resilient: conversion timeline ---------------------
+    /// A staged conversion began.
+    ConvStart {
+        from: String,
+        to: String,
+        crosspoints: usize,
+        deletes: usize,
+        adds: usize,
+    },
+    /// One attempt of one `(stage, shard)` cell. `outcome` is `"ok"`,
+    /// `"timeout"`, `"fail"`, `"crash"`, or `"partial"`; `cost_ms` is
+    /// the attempt's wall-clock contribution (backoff excluded).
+    ConvAttempt {
+        stage: String,
+        shard: usize,
+        attempt: u32,
+        outcome: String,
+        cost_ms: f64,
+    },
+    /// A `(stage, shard)` cell finished (the per-stage span): total
+    /// attempts, wall-clock including backoffs, and whether it
+    /// completed its work.
+    ConvStage {
+        stage: String,
+        shard: usize,
+        attempts: u32,
+        elapsed_ms: f64,
+        ok: bool,
+    },
+    /// The conversion reached a terminal state
+    /// (`"committed"`/`"rolledback"`/`"degraded"`).
+    ConvEnd {
+        status: String,
+        total_ms: f64,
+        retries: u32,
+    },
+
+    // --- ft-bench: sweep progress ------------------------------------
+    /// One sweep cell completed (emitted in completion order, which is
+    /// scheduler-dependent; `cell` is the deterministic input index).
+    SweepCell { cell: usize, wall_ms: f64 },
+    /// End-of-run summary written by the `--metrics` recorder.
+    SweepSummary {
+        bin: String,
+        cells: usize,
+        wall_ms: f64,
+        cells_per_s: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        max_ms: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's name (its serialized tag), for filtering and tallies.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::FlowStart { .. } => "FlowStart",
+            Self::FlowReroute { .. } => "FlowReroute",
+            Self::FlowPark { .. } => "FlowPark",
+            Self::FlowRevive { .. } => "FlowRevive",
+            Self::FlowFinish { .. } => "FlowFinish",
+            Self::FlowUnroutable { .. } => "FlowUnroutable",
+            Self::Alloc { .. } => "Alloc",
+            Self::LinkUtil { .. } => "LinkUtil",
+            Self::LinkDown { .. } => "LinkDown",
+            Self::LinkUp { .. } => "LinkUp",
+            Self::SimEnd { .. } => "SimEnd",
+            Self::ConvStart { .. } => "ConvStart",
+            Self::ConvAttempt { .. } => "ConvAttempt",
+            Self::ConvStage { .. } => "ConvStage",
+            Self::ConvEnd { .. } => "ConvEnd",
+            Self::SweepCell { .. } => "SweepCell",
+            Self::SweepSummary { .. } => "SweepSummary",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let evs = vec![
+            TraceEvent::FlowStart {
+                t: 0.5,
+                flow: 3,
+                paths: 8,
+            },
+            TraceEvent::FlowPark {
+                t: 1.0,
+                flow: 3,
+                cause: ParkCause::PathLoss,
+            },
+            TraceEvent::LinkUtil {
+                t: 2.0,
+                deciles: [1, 0, 0, 0, 0, 0, 0, 0, 0, 4],
+                saturated: 4,
+                busiest: 1.0,
+            },
+            TraceEvent::ConvEnd {
+                status: "committed".into(),
+                total_ms: 825.0,
+                retries: 0,
+            },
+        ];
+        for ev in evs {
+            let s = serde_json::to_string(&ev).expect("serializable");
+            let back: TraceEvent = serde_json::from_str(&s).expect("parseable");
+            assert_eq!(back, ev);
+            assert!(s.contains(ev.name()), "{s} must carry tag {}", ev.name());
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let ev = TraceEvent::FlowFinish {
+            t: 1.25,
+            flow: 42,
+            fct: 0.75,
+        };
+        let a = serde_json::to_string(&ev).unwrap();
+        let b = serde_json::to_string(&ev).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, r#"{"FlowFinish":{"t":1.25,"flow":42,"fct":0.75}}"#);
+    }
+}

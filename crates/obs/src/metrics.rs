@@ -1,0 +1,357 @@
+//! A small static-dispatch metrics facade: counters, gauges, and
+//! HDR-style log-bucketed histograms.
+//!
+//! [`Metrics`] is a plain struct owned by whoever is measuring — no
+//! globals, no atomics, no trait objects. Registration is implicit
+//! (first touch creates the instrument) and iteration order is
+//! insertion order, so a serialized dump is deterministic for a
+//! deterministic program.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power of two. 16 gives <= 6.25% relative bucket
+/// width — HDR-histogram-like precision at 2 decimal significant
+/// digits, with pure integer indexing.
+const SUBS: usize = 16;
+/// Binary exponents covered: 2^-64 .. 2^64. Values outside clamp.
+const MIN_EXP: i32 = -64;
+const MAX_EXP: i32 = 64;
+
+/// A log-bucketed histogram of non-negative `f64` samples.
+///
+/// Layout: one underflow bucket for zero (and sub-2^-64) values, then
+/// 16 linear sub-buckets per binary order of magnitude — the
+/// classic HDR scheme, sized for the ranges this workspace records
+/// (seconds, milliseconds, rates, utilizations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; 1 + ((MAX_EXP - MIN_EXP) as usize) * SUBS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn index(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0; // zero / negative / NaN land in the underflow bucket
+        }
+        let exp = (v.log2().floor() as i32).clamp(MIN_EXP, MAX_EXP - 1);
+        let base = 2f64.powi(exp);
+        // v / base is in [1, 2): spread over SUBS linear sub-buckets.
+        let sub = (((v / base - 1.0) * SUBS as f64) as usize).min(SUBS - 1);
+        1 + ((exp - MIN_EXP) as usize) * SUBS + sub
+    }
+
+    /// Representative (lower-bound) value of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        let i = i - 1;
+        let exp = MIN_EXP + (i / SUBS) as i32;
+        let sub = i % SUBS;
+        2f64.powi(exp) * (1.0 + sub as f64 / SUBS as f64)
+    }
+
+    /// Records one sample. Negative, zero, and non-finite samples count
+    /// in the underflow bucket (they still bump `count`).
+    pub fn record(&mut self, v: f64) {
+        self.counts[Self::index(v)] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded (finite) samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest finite sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min.min(self.max) // min is +inf if only non-finite seen
+        }
+    }
+
+    /// Largest finite sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 || self.max == f64::NEG_INFINITY {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `p`-th percentile (0..=100) as the matching bucket's
+    /// lower-bound value (<= 6.25% below the true sample). 0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max()
+    }
+}
+
+/// One named instrument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instrument {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Sample distribution.
+    Histogram(Histogram),
+}
+
+/// Insertion-ordered named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    entries: Vec<(String, Instrument)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, name: &str, make: impl FnOnce() -> Instrument) -> &mut Instrument {
+        if let Some(i) = self.entries.iter().position(|(n, _)| n == name) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((name.to_string(), make()));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    /// Panics if `name` is already a gauge or histogram.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.slot(name, || Instrument::Counter(0)) {
+            Instrument::Counter(c) => *c += delta,
+            other => panic!("metric {name} is {other:?}, not a counter"),
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the named gauge. Panics if `name` is another instrument
+    /// kind.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        match self.slot(name, || Instrument::Gauge(0.0)) {
+            Instrument::Gauge(g) => *g = value,
+            other => panic!("metric {name} is {other:?}, not a gauge"),
+        }
+    }
+
+    /// Records a sample into the named histogram. Panics if `name` is
+    /// another instrument kind.
+    pub fn record(&mut self, name: &str, value: f64) {
+        match self.slot(name, || Instrument::Histogram(Histogram::new())) {
+            Instrument::Histogram(h) => h.record(value),
+            other => panic!("metric {name} is {other:?}, not a histogram"),
+        }
+    }
+
+    /// Looks up an instrument by name.
+    pub fn get(&self, name: &str) -> Option<&Instrument> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, i)| i)
+    }
+
+    /// The named counter's value (0 if absent or another kind).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Instrument::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name) {
+            Some(Instrument::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, instrument)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Instrument)> {
+        self.entries.iter().map(|(n, i)| (n.as_str(), i))
+    }
+
+    /// Renders a compact deterministic one-object JSON summary:
+    /// counters and gauges verbatim, histograms as
+    /// `{count, mean, min, p50, p99, max}`.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, inst)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:", quote(name)));
+            match inst {
+                Instrument::Counter(c) => out.push_str(&c.to_string()),
+                Instrument::Gauge(g) => out.push_str(&fmt_f64(*g)),
+                Instrument::Histogram(h) => out.push_str(&format!(
+                    "{{\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                    h.count(),
+                    fmt_f64(h.mean()),
+                    fmt_f64(h.min()),
+                    fmt_f64(h.percentile(50.0)),
+                    fmt_f64(h.percentile(99.0)),
+                    fmt_f64(h.max()),
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn quote(s: &str) -> String {
+    serde_json::to_string(&s).expect("strings serialize")
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        serde_json::to_string(&v).expect("finite floats serialize")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = Metrics::new();
+        m.incr("cells");
+        m.add("cells", 4);
+        m.gauge("peak_rss", 123.0);
+        m.gauge("peak_rss", 456.0);
+        assert_eq!(m.counter("cells"), 5);
+        assert!(matches!(m.get("peak_rss"), Some(Instrument::Gauge(g)) if *g == 456.0));
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_samples() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        let p50 = h.percentile(50.0);
+        // Bucket lower bound: within 6.25% below the true median.
+        assert!((500.0 * (1.0 - 1.0 / 16.0)..=500.0).contains(&p50), "{p50}");
+        let p99 = h.percentile(99.0);
+        assert!((990.0 * (1.0 - 1.0 / 16.0)..=990.0).contains(&p99), "{p99}");
+        assert!(h.percentile(100.0) <= 1000.0);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_samples() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(2.5);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.percentile(10.0), 0.0);
+        assert_eq!(h.max(), 2.5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn tiny_and_huge_values_clamp_into_range() {
+        let mut h = Histogram::new();
+        h.record(1e-300);
+        h.record(1e300);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(100.0) > 0.0);
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_ordered() {
+        let mut m = Metrics::new();
+        m.incr("b_second");
+        m.gauge("a_first", 1.5);
+        m.record("lat_ms", 10.0);
+        let a = m.summary_json();
+        assert_eq!(a, m.summary_json());
+        // Insertion order, not alphabetical.
+        let ib = a.find("b_second").unwrap();
+        let ia = a.find("a_first").unwrap();
+        assert!(ib < ia);
+        assert!(a.contains("\"count\":1"));
+        // The summary must itself be valid JSON.
+        assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_confusion_panics() {
+        let mut m = Metrics::new();
+        m.gauge("x", 1.0);
+        m.add("x", 1);
+    }
+}

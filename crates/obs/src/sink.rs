@@ -1,0 +1,278 @@
+//! Trace sinks: no-op, ring buffer, JSONL writer.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Where instrumented code sends [`TraceEvent`]s.
+///
+/// Instrumented layers are **generic** over the sink (static dispatch)
+/// and guard every emission site with [`enabled`](Self::enabled):
+///
+/// ```ignore
+/// if sink.enabled() {
+///     sink.emit(TraceEvent::FlowStart { t, flow, paths });
+/// }
+/// ```
+///
+/// [`NoopSink`] returns `false` from a one-line `enabled`, so after
+/// monomorphization and inlining the guard — event construction
+/// included — compiles away entirely. This is the zero-cost contract:
+/// un-traced entry points must not measurably regress and must produce
+/// bit-identical results.
+pub trait TraceSink {
+    /// Whether [`emit`](Self::emit) records anything. Callers skip
+    /// building events when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event. Must be cheap relative to the caller's epoch
+    /// work; sinks that do I/O should buffer.
+    fn emit(&mut self, ev: TraceEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: TraceEvent) {}
+}
+
+/// Keeps the last `capacity` events in memory (flight-recorder style);
+/// older events are dropped and counted.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring keeping the last `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be >= 1");
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// A ring that never evicts (plain in-memory collector).
+    pub fn unbounded() -> Self {
+        Self {
+            capacity: usize::MAX,
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to honor the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the retained events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// Serializes every event as one compact JSON object per line into any
+/// [`Write`]. Write errors are latched (emission becomes a no-op) and
+/// surfaced via [`take_error`](Self::take_error) rather than panicking
+/// mid-simulation.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+    written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Callers doing file I/O should pass a
+    /// `BufWriter`.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first write error, if any, clearing it.
+    pub fn take_error(&mut self) -> Option<std::io::Error> {
+        self.error.take()
+    }
+
+    /// Flushes and returns the underlying writer, or the latched error.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, ev: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(&ev).expect("trace events always serialize");
+        let res = self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|()| self.w.write_all(b"\n"));
+        match res {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Forwards to any other sink behind a mutable reference, so one sink
+/// can serve several traced calls in sequence.
+impl<S: TraceSink> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        (**self).emit(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(flow: u64) -> TraceEvent {
+        TraceEvent::FlowFinish {
+            t: 1.0,
+            flow,
+            fct: 0.5,
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.emit(ev(1)); // must not panic
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut s = RingSink::new(2);
+        assert!(s.enabled());
+        for i in 0..5 {
+            s.emit(ev(i));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let flows: Vec<u64> = s
+            .into_events()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::FlowFinish { flow, .. } => *flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(flows, vec![3, 4]);
+    }
+
+    #[test]
+    fn unbounded_ring_keeps_everything() {
+        let mut s = RingSink::unbounded();
+        for i in 0..100 {
+            s.emit(ev(i));
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.dropped(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.emit(ev(7));
+        s.emit(ev(8));
+        assert_eq!(s.written(), 2);
+        let bytes = s.into_inner().expect("no io error");
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"flow\":7"));
+    }
+
+    #[test]
+    fn jsonl_latches_write_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = JsonlSink::new(Broken);
+        s.emit(ev(1));
+        s.emit(ev(2)); // silently dropped after the latch
+        assert_eq!(s.written(), 0);
+        assert!(s.take_error().is_some());
+        assert!(s.take_error().is_none());
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        fn traced<S: TraceSink>(mut sink: S) {
+            assert!(sink.enabled());
+            sink.emit(ev(1));
+        }
+        let mut ring = RingSink::unbounded();
+        traced(&mut ring);
+        assert_eq!(ring.len(), 1);
+    }
+}

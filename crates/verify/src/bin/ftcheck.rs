@@ -27,9 +27,9 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
-/// Parses the `ftcheck` CLI. The battery accepts everything
-/// [`Scale::from_args`] does plus `--inject <corruption>`, so it needs
-/// its own parser rather than the panicking shared one.
+/// Parses the `ftcheck` CLI. The battery accepts the shared scale flags
+/// plus `--inject <corruption>`, so it keeps its own strict parser
+/// (same contract as `ft_bench::Cli`: unknown flags exit 2 with usage).
 fn parse_args() -> Args {
     let mut scale = Scale::default();
     let mut inject = None;

@@ -1,0 +1,141 @@
+//! Minimal offline stand-in for the `assert_cmd` crate: locate a
+//! workspace binary from an integration test and assert on its exit
+//! status and captured output.
+//!
+//! API subset: [`Command::cargo_bin`], `arg`/`args`, [`Command::assert`],
+//! and [`Assert`]'s `success`/`failure`/`code`/`get_output`. Binaries
+//! are resolved relative to the test executable (`target/<profile>/`),
+//! which Cargo guarantees to populate before integration tests run.
+
+use std::ffi::OsStr;
+use std::path::PathBuf;
+use std::process::Output;
+
+/// Error locating or spawning a workspace binary.
+#[derive(Debug)]
+pub struct CargoError(String);
+
+impl std::fmt::Display for CargoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CargoError {}
+
+/// The directory holding this package's compiled binaries: the test
+/// executable lives in `target/<profile>/deps/`, the binaries one level
+/// up.
+fn bin_dir() -> Result<PathBuf, CargoError> {
+    let mut dir = std::env::current_exe()
+        .map_err(|e| CargoError(format!("cannot locate test executable: {e}")))?;
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    Ok(dir)
+}
+
+/// A command to run, wrapping [`std::process::Command`].
+pub struct Command {
+    inner: std::process::Command,
+}
+
+impl Command {
+    /// Locates the named binary of the current workspace build.
+    pub fn cargo_bin(name: &str) -> Result<Self, CargoError> {
+        let path = bin_dir()?.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+        if !path.is_file() {
+            return Err(CargoError(format!(
+                "no such cargo binary: {}",
+                path.display()
+            )));
+        }
+        Ok(Self {
+            inner: std::process::Command::new(path),
+        })
+    }
+
+    /// Appends one argument.
+    pub fn arg<S: AsRef<OsStr>>(&mut self, arg: S) -> &mut Self {
+        self.inner.arg(arg);
+        self
+    }
+
+    /// Appends several arguments.
+    pub fn args<I, S>(&mut self, args: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<OsStr>,
+    {
+        self.inner.args(args);
+        self
+    }
+
+    /// Runs the command to completion, capturing stdout/stderr.
+    pub fn output(&mut self) -> std::io::Result<Output> {
+        self.inner.output()
+    }
+
+    /// Runs the command and returns an [`Assert`] over its output.
+    /// Panics if the process cannot be spawned.
+    pub fn assert(&mut self) -> Assert {
+        let output = self
+            .inner
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {:?}: {e}", self.inner.get_program()));
+        Assert { output }
+    }
+}
+
+/// Assertions over a finished process.
+pub struct Assert {
+    output: Output,
+}
+
+impl Assert {
+    fn context(&self) -> String {
+        format!(
+            "status: {:?}\nstdout:\n{}\nstderr:\n{}",
+            self.output.status.code(),
+            String::from_utf8_lossy(&self.output.stdout),
+            String::from_utf8_lossy(&self.output.stderr),
+        )
+    }
+
+    /// Asserts exit status zero.
+    pub fn success(self) -> Self {
+        assert!(
+            self.output.status.success(),
+            "expected success\n{}",
+            self.context()
+        );
+        self
+    }
+
+    /// Asserts a non-zero exit status.
+    pub fn failure(self) -> Self {
+        assert!(
+            !self.output.status.success(),
+            "expected failure\n{}",
+            self.context()
+        );
+        self
+    }
+
+    /// Asserts the exact exit code.
+    pub fn code(self, expected: i32) -> Self {
+        assert_eq!(
+            self.output.status.code(),
+            Some(expected),
+            "expected exit code {expected}\n{}",
+            self.context()
+        );
+        self
+    }
+
+    /// The captured process output, for custom assertions.
+    pub fn get_output(&self) -> &Output {
+        &self.output
+    }
+}
