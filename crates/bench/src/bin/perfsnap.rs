@@ -112,6 +112,24 @@ fn measure_sim(
     }
 }
 
+/// The route-plane workload: parallel precompute of the full
+/// switch-pair route table (k = 8) for the mini topo-1 global
+/// flat-tree — the table every experiment cell now shares. `events`
+/// is the number of precomputed switch pairs.
+fn measure_route_precompute(net: &DcNetwork) -> Snapshot {
+    let t0 = Instant::now();
+    let table = routing::SharedRouteTable::build(&net.graph, 8);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let pairs = table.pair_count() as u64;
+    std::hint::black_box(table);
+    Snapshot {
+        name: "route_precompute",
+        wall_ms,
+        events: pairs,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
 /// The sweep-grid workload: the faultsweep smoke grid, with cells counted
 /// through the process-wide sweep observer (one event per cell).
 fn measure_faultsweep() -> Snapshot {
@@ -229,6 +247,12 @@ fn main() {
         );
         snaps.push(snap);
     }
+    let snap = measure_route_precompute(&net);
+    eprintln!(
+        "perfsnap: {:<22} {:>9.1} ms  {:>9} pairs   {:>8} kB peak",
+        snap.name, snap.wall_ms, snap.events, snap.peak_rss_kb
+    );
+    snaps.push(snap);
     let snap = measure_faultsweep();
     eprintln!(
         "perfsnap: {:<22} {:>9.1} ms  {:>9} cells   {:>8} kB peak",

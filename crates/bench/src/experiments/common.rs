@@ -3,7 +3,9 @@
 use flat_tree::{FlatTree, FlatTreeInstance, FlatTreeParams, ModeAssignment, PodMode};
 use flowsim::alloc::{connection_rates, ConnPaths};
 use mcf::Commodity;
-use routing::RouteTable;
+use netgraph::NodeId;
+use routing::{RouteTable, SharedRouteTable};
+use std::sync::Arc;
 use topology::{ClosParams, DcNetwork};
 
 /// Mini-scale counterpart of a Table 2 topology: same layer structure and
@@ -105,6 +107,61 @@ pub fn mptcp_rates(net: &DcNetwork, pairs: &[(usize, usize)], k: usize) -> Vec<f
     connection_rates(&g.capacities(), &conns)
 }
 
+/// The ingress/egress switch-pair route domain of a batch of server
+/// index pairs (intra-rack pairs need no switch paths and are skipped).
+pub fn switch_pairs(net: &DcNetwork, pairs: &[(usize, usize)]) -> Vec<(NodeId, NodeId)> {
+    let g = &net.graph;
+    pairs
+        .iter()
+        .filter_map(|&(s, d)| {
+            let si = g.server_uplink_switch(net.servers[s])?;
+            let di = g.server_uplink_switch(net.servers[d])?;
+            (si != di).then_some((si, di))
+        })
+        .collect()
+}
+
+/// One parallel-precomputed route table covering a pair batch at `k`,
+/// built once and shared (via `Arc`) by every cell that routes it —
+/// instead of a private lazy [`RouteTable`] per cell.
+pub fn shared_route_table(
+    net: &DcNetwork,
+    pairs: &[(usize, usize)],
+    k: usize,
+) -> Arc<SharedRouteTable> {
+    Arc::new(SharedRouteTable::build_for_pairs(
+        &net.graph,
+        k,
+        &switch_pairs(net, pairs),
+    ))
+}
+
+/// [`mptcp_rates`] over a precomputed shared route table. The spliced
+/// path sets are identical to the lazy per-cell table's, so the rates
+/// are bit-for-bit the same; only the Yen runs are shared and parallel.
+pub fn mptcp_rates_shared(
+    net: &DcNetwork,
+    pairs: &[(usize, usize)],
+    table: &SharedRouteTable,
+) -> Vec<f64> {
+    let g = &net.graph;
+    let conns: Vec<ConnPaths> = pairs
+        .iter()
+        .map(|&(s, d)| {
+            let paths = table
+                .server_paths(g, net.servers[s], net.servers[d])
+                .expect("pair covered by the shared table");
+            assert!(!paths.is_empty(), "pair ({s},{d}) unroutable");
+            let w = 1.0 / paths.len() as f64;
+            ConnPaths {
+                paths,
+                subflow_weight: w,
+            }
+        })
+        .collect();
+    connection_rates(&g.capacities(), &conns)
+}
+
 /// Index pairs → unit-demand commodities with NIC-rate demand.
 pub fn commodities(net: &DcNetwork, pairs: &[(usize, usize)], demand: f64) -> Vec<Commodity> {
     pairs
@@ -166,6 +223,21 @@ mod tests {
             let ft = flat_tree_over(mini_topo(i));
             let inst = instance(&ft, PodMode::Global);
             inst.net.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_rates_match_lazy_rates() {
+        let ft = flat_tree_over(mini_topo(2));
+        let inst = instance(&ft, PodMode::Global);
+        let pairs = traffic::patterns::permutation(inst.net.num_servers(), 7);
+        for k in [4usize, 8] {
+            let table = shared_route_table(&inst.net, &pairs, k);
+            assert_eq!(
+                mptcp_rates_shared(&inst.net, &pairs, &table),
+                mptcp_rates(&inst.net, &pairs, k),
+                "k={k}"
+            );
         }
     }
 

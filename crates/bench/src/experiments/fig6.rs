@@ -10,7 +10,9 @@ use crate::Scale;
 use flat_tree::{FlatTreeInstance, PodMode};
 use mcf::concurrent::max_concurrent_flow;
 use mcf::greedy::{max_total_flow, mean};
+use routing::SharedRouteTable;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use topology::DcNetwork;
 use traffic::patterns;
 
@@ -53,13 +55,16 @@ pub fn traffics(n: usize, pods: usize, seed: u64) -> Vec<(String, Vec<(usize, us
     ]
 }
 
-/// One (panel, traffic) job for the sweep driver.
+/// One (panel, traffic) job for the sweep driver. The route tables are
+/// per-(panel, k), built once and shared across the panel's four
+/// traffic cells instead of a private lazy table per cell.
 struct Job<'a> {
     topo: usize,
     mode: PodMode,
     net: &'a DcNetwork,
     tname: String,
     pairs: Vec<(usize, usize)>,
+    tables: Arc<[Arc<SharedRouteTable>]>,
 }
 
 /// Runs all panels: the (panel, traffic) cells are independent, so they
@@ -80,15 +85,23 @@ pub fn run(scale: Scale) -> Vec<Cell> {
         .iter()
         .flat_map(|(topo_idx, mode, inst)| {
             let net = &inst.net;
-            traffics(net.num_servers(), net.num_pods(), scale.seed)
-                .into_iter()
-                .map(move |(tname, pairs)| Job {
-                    topo: *topo_idx,
-                    mode: *mode,
-                    net,
-                    tname,
-                    pairs,
-                })
+            let tr = traffics(net.num_servers(), net.num_pods(), scale.seed);
+            // Precompute one route table per k over the union of this
+            // panel's traffic pairs; all four cells share them.
+            let union: Vec<(usize, usize)> =
+                tr.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+            let tables: Arc<[Arc<SharedRouteTable>]> = ks
+                .iter()
+                .map(|&k| common::shared_route_table(net, &union, k))
+                .collect();
+            tr.into_iter().map(move |(tname, pairs)| Job {
+                topo: *topo_idx,
+                mode: *mode,
+                net,
+                tname,
+                pairs,
+                tables: tables.clone(),
+            })
         })
         .collect();
     sweep(&jobs, |_, job| {
@@ -103,8 +116,8 @@ pub fn run(scale: Scale) -> Vec<Cell> {
         // of the two lower bounds.
         let lp_avg = mean(&max_total_flow(&net.graph, &coms)).max(lp_min_avg);
         let mut mptcp = [0.0f64; 3];
-        for (i, &k) in ks.iter().enumerate() {
-            let rates = common::mptcp_rates(net, &job.pairs, k);
+        for (i, table) in job.tables.iter().enumerate() {
+            let rates = common::mptcp_rates_shared(net, &job.pairs, table);
             mptcp[i] = crate::report::mean(&rates) / lp_min_avg;
         }
         Cell {

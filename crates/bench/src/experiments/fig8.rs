@@ -8,8 +8,11 @@ use crate::report::{f3, percentile, print_table, sorted};
 use crate::sweep::sweep;
 use crate::Scale;
 use flat_tree::PodMode;
-use flowsim::{simulate, SimConfig, Transport};
+use flowsim::provider::{EcmpProvider, MptcpProvider};
+use flowsim::{simulate_with_provider, SimConfig, Transport};
+use routing::SharedRouteTable;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use topology::{DcNetwork, RandomGraphParams, TwoStageParams};
 use traffic::traces::TraceParams;
 use traffic::Workload;
@@ -96,11 +99,34 @@ pub fn trace_set(scale: Scale) -> Vec<Workload> {
 pub fn run(scale: Scale) -> Vec<Curve> {
     let nets = networks(scale);
     let traces = trace_set(scale);
-    let jobs: Vec<(&Workload, &(String, DcNetwork, Transport))> = traces
+    // Precompute one shared route table per MPTCP network over the
+    // union of every trace's pairs; all four of a network's cells use
+    // it instead of lazily re-running Yen per cell.
+    let union: Vec<(usize, usize)> = traces
         .iter()
-        .flat_map(|trace| nets.iter().map(move |n| (trace, n)))
+        .flat_map(|t| t.flows.iter().map(|f| (f.src, f.dst)))
         .collect();
-    sweep(&jobs, |_, &(trace, (name, net, transport))| {
+    let tables: Vec<Option<Arc<SharedRouteTable>>> = nets
+        .iter()
+        .map(|(_, net, transport)| match *transport {
+            Transport::Mptcp { k, .. } => Some(common::shared_route_table(net, &union, k)),
+            Transport::TcpEcmp => None,
+        })
+        .collect();
+    type Job<'a> = (
+        &'a Workload,
+        &'a (String, DcNetwork, Transport),
+        &'a Option<Arc<SharedRouteTable>>,
+    );
+    let jobs: Vec<Job> = traces
+        .iter()
+        .flat_map(|trace| {
+            nets.iter()
+                .zip(tables.iter())
+                .map(move |(n, t)| (trace, n, t))
+        })
+        .collect();
+    sweep(&jobs, |_, &(trace, (name, net, transport), table)| {
         let flows: Vec<flowsim::FlowSpec> = trace
             .flows
             .iter()
@@ -116,7 +142,19 @@ pub fn run(scale: Scale) -> Vec<Curve> {
             transport: *transport,
             ..SimConfig::default()
         };
-        let res = simulate(&net.graph, &flows, &cfg);
+        let res = match (*transport, table) {
+            (Transport::Mptcp { coupled, .. }, Some(t)) => {
+                let mut p = MptcpProvider::with_shared(t.clone(), coupled);
+                simulate_with_provider(&net.graph, &flows, &cfg, &mut p)
+            }
+            (Transport::Mptcp { k, coupled }, None) => {
+                let mut p = MptcpProvider::new(k, coupled);
+                simulate_with_provider(&net.graph, &flows, &cfg, &mut p)
+            }
+            (Transport::TcpEcmp, _) => {
+                simulate_with_provider(&net.graph, &flows, &cfg, &mut EcmpProvider::new())
+            }
+        };
         let fcts_ms: Vec<f64> = res.sorted_fcts().iter().map(|s| s * 1e3).collect();
         assert!(!fcts_ms.is_empty(), "no flow completed on {name}");
         let s = sorted(&fcts_ms);

@@ -19,10 +19,11 @@ use crate::sweep::sweep;
 use crate::Scale;
 use flat_tree::PodMode;
 use flowsim::alloc::{connection_rates, ConnPaths};
-use netgraph::{yen, Graph, LinkId};
+use netgraph::{Graph, LinkId, NodeId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use routing::SharedRouteTable;
 use serde::{Deserialize, Serialize};
 
 /// Failure fractions swept.
@@ -59,23 +60,24 @@ fn cables(g: &Graph) -> Vec<LinkId> {
         .collect()
 }
 
-/// Mean throughput and disconnection rate with a given failed-cable set.
+/// Mean throughput and disconnection rate with a given failed-cable
+/// set. Routes come from the shared precomputed table through a failure
+/// **overlay**: only switch pairs whose cached paths cross a failed
+/// link are re-run (masked), the rest splice unchanged — bit-identical
+/// to a from-scratch masked Yen per server pair.
 fn measure(
     g: &Graph,
-    pairs: &[(netgraph::NodeId, netgraph::NodeId)],
-    failed: &std::collections::HashSet<usize>,
-    k: usize,
+    pairs: &[(NodeId, NodeId)],
+    table: &SharedRouteTable,
+    down: &[LinkId],
 ) -> (f64, f64) {
+    let ov = table.overlay(g, down);
     let mut conns = Vec::new();
     let mut disconnected = 0usize;
     for &(s, d) in pairs {
-        let paths = yen::k_shortest_paths_by(g, s, d, k, |l| {
-            if failed.contains(&l.idx()) {
-                f64::INFINITY
-            } else {
-                1.0
-            }
-        });
+        let paths = table
+            .server_paths_with(g, &ov, s, d)
+            .expect("pair covered by the shared table");
         if paths.is_empty() {
             disconnected += 1;
             continue;
@@ -87,8 +89,8 @@ fn measure(
         });
     }
     let mut caps = g.capacities();
-    for &l in failed {
-        caps[l] = 1e-9; // dead, but keep the allocator's invariants simple
+    for &l in down {
+        caps[l.idx()] = 1e-9; // dead, but keep the allocator's invariants simple
     }
     let rates = connection_rates(&caps, &conns);
     let total: f64 = rates.iter().sum();
@@ -114,11 +116,14 @@ pub fn run(scale: Scale) -> Vec<Point> {
     let mut out = Vec::new();
     for (name, net) in &nets {
         let g = &net.graph;
-        let pairs: Vec<(netgraph::NodeId, netgraph::NodeId)> =
-            traffic::patterns::permutation(net.num_servers(), scale.seed)
-                .into_iter()
-                .map(|(s, d)| (net.servers[s], net.servers[d]))
-                .collect();
+        let index_pairs = traffic::patterns::permutation(net.num_servers(), scale.seed);
+        let pairs: Vec<(NodeId, NodeId)> = index_pairs
+            .iter()
+            .map(|&(s, d)| (net.servers[s], net.servers[d]))
+            .collect();
+        // One parallel-precomputed table per network; every (fraction,
+        // trial) cell reads it through its own failure overlay.
+        let table = common::shared_route_table(net, &index_pairs, k);
         let all_cables = cables(g);
         // Sweep (fraction, trial) cells on the shared parallel driver.
         let jobs: Vec<(f64, usize)> = FRACTIONS
@@ -131,14 +136,15 @@ pub fn run(scale: Scale) -> Vec<Point> {
             let mut chosen = all_cables.clone();
             chosen.shuffle(&mut rng);
             chosen.truncate((all_cables.len() as f64 * frac) as usize);
-            let mut failed = std::collections::HashSet::new();
+            let mut down = Vec::new();
             for l in chosen {
-                failed.insert(l.idx());
+                down.push(l);
                 if let Some(r) = g.link(l).reverse {
-                    failed.insert(r.idx());
+                    down.push(r);
                 }
             }
-            let (mean, disc) = measure(g, &pairs, &failed, k);
+            down.sort_unstable_by_key(|l| l.0);
+            let (mean, disc) = measure(g, &pairs, &table, &down);
             (frac, mean, disc)
         });
         // Average trials per fraction.

@@ -22,16 +22,20 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("{}", fmt_row(&head));
     println!(
         "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
     );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
 
-/// `p`-th percentile (0..=100) of sorted data.
+/// `p`-th percentile (0..=100) of sorted data. Returns `f64::NAN` for
+/// empty input — the documented sentinel for "no samples", chosen over
+/// a panic so report code never aborts a sweep on an empty cell.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
     let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
     sorted[idx]
 }
@@ -45,22 +49,25 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Sorts a copy ascending.
+/// Sorts a copy ascending by IEEE total order, so NaN samples sort to
+/// the end instead of panicking mid-comparison.
 pub fn sorted(xs: &[f64]) -> Vec<f64> {
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     v
 }
 
 /// Five-number summary + mean: (min, p25, median, p75, max, mean).
+/// Empty input yields all-NaN quantiles with a 0 mean — the same
+/// sentinel convention as [`percentile`].
 pub fn summary(xs: &[f64]) -> (f64, f64, f64, f64, f64, f64) {
     let s = sorted(xs);
     (
-        s[0],
+        s.first().copied().unwrap_or(f64::NAN),
         percentile(&s, 25.0),
         percentile(&s, 50.0),
         percentile(&s, 75.0),
-        s[s.len() - 1],
+        s.last().copied().unwrap_or(f64::NAN),
         mean(&s),
     )
 }
@@ -89,5 +96,29 @@ mod tests {
     #[test]
     fn mean_handles_empty() {
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn sorted_is_total_on_nan() {
+        let s = sorted(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(&s[..2], &[1.0, 2.0]);
+        assert!(s[2].is_nan(), "NaN sorts last under total order");
+    }
+
+    #[test]
+    fn empty_summary_yields_nan_sentinels() {
+        assert!(percentile(&[], 50.0).is_nan());
+        let (min, p25, med, p75, max, m) = summary(&[]);
+        assert!(min.is_nan() && p25.is_nan() && med.is_nan());
+        assert!(p75.is_nan() && max.is_nan());
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn print_table_survives_empty_header() {
+        // Regression: the separator width used to underflow on an
+        // empty header (`widths.len() - 1` with len 0).
+        print_table("empty", &[], &[]);
+        print_table("one", &["col"], &[vec!["x".into()]]);
     }
 }

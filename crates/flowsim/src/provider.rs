@@ -13,9 +13,10 @@
 
 use crate::failures::FailedLinks;
 use crate::sim::FlowSpec;
-use netgraph::{dijkstra, ecmp, yen, Graph, NodeId, PathArena, PathId};
-use routing::RouteTable;
+use netgraph::{dijkstra, ecmp, yen, Graph, NodeId, Path, PathArena, PathId};
+use routing::{ksp, RouteTable, SharedRouteTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A routed connection: interned subflow paths plus the fairness weight
 /// each subflow carries in max-min allocation.
@@ -114,7 +115,12 @@ impl PathProvider for EcmpProvider {
                 .map(|(_, p)| arena.intern(p))
             }))?
         } else {
-            // Same selection as `ecmp::select_by_hash` over the alive set.
+            // Hash modulo the *survivor* set. With every link up this is
+            // exactly `ecmp::select_by_hash`; under failures the flows
+            // rehash over the k' survivors (a flow can move even when its
+            // own path survived), spreading load uniformly instead of
+            // piling displaced flows onto hash-adjacent survivors. Pinned
+            // by `ecmp_failure_epoch_hashes_modulo_survivors`.
             let i =
                 (ecmp::flow_hash(spec.src, spec.dst, spec.id) % entry.alive.len() as u64) as usize;
             entry.alive[i]
@@ -126,18 +132,49 @@ impl PathProvider for EcmpProvider {
     }
 }
 
+/// Switch-pair route source backing an [`MptcpProvider`].
+#[derive(Debug)]
+enum Backend {
+    /// A lazily-filled per-provider table (the default).
+    Lazy(RouteTable),
+    /// A precomputed [`SharedRouteTable`] shared across simulations,
+    /// with a lazy fallback for pairs outside the table's domain.
+    Shared {
+        table: Arc<SharedRouteTable>,
+        fallback: RouteTable,
+    },
+}
+
 /// MPTCP over the k-shortest paths.
 ///
-/// With no failures, routes come from the [`RouteTable`]'s switch-pair
-/// cache (splice per pair cached here as interned ids). With failures,
-/// the failure-aware Yen result is cached per server pair for the
-/// current epoch — the rerouting burst after a failure computes each
-/// pair once, and later arrivals on the pair are lookups.
+/// Routing always happens at the **switch-pair** level (§4.2.1
+/// Observations 1–2): paths between the ingress and egress switches,
+/// with the two server uplinks spliced on. Failures keep that
+/// granularity — failed links are masked in the switch-pair Yen run,
+/// the surviving uplinks are spliced, and a connection parks only when
+/// its own uplink or downlink is down. A switch pair is re-run masked
+/// only when its cached Yen footprint touches a failed link; otherwise
+/// the cached paths are provably what the masked run would return (see
+/// [`netgraph::yen::k_shortest_paths_with_footprint`]), so a failure
+/// epoch costs a handful of Yen runs instead of one per server pair.
+///
+/// Per-epoch results are cached per server pair as interned ids — the
+/// rerouting burst after a failure computes each pair once, and later
+/// arrivals on the pair are lookups.
 #[derive(Debug)]
 pub struct MptcpProvider {
     k: usize,
     coupled: bool,
-    rt: RouteTable,
+    backend: Backend,
+    /// Masked switch-pair path sets for the current epoch, for pairs
+    /// whose Yen footprint touches a failed link.
+    fail_switch: HashMap<(NodeId, NodeId), Vec<Path>>,
+    /// Slots of shared-table pairs whose footprint touches a failed
+    /// link, computed once per epoch. Affected pairs are then re-run
+    /// lazily (into `fail_switch`) only when actually routed — cheaper
+    /// than an eager [`RouteOverlay`] when a failure epoch touches few
+    /// pairs.
+    affected: Option<Vec<u32>>,
     cache: HashMap<(NodeId, NodeId), Option<RoutedConn>>,
     epoch: u64,
 }
@@ -145,10 +182,31 @@ pub struct MptcpProvider {
 impl MptcpProvider {
     /// Provider for `k` subflows; `coupled` selects LIA-style weights.
     pub fn new(k: usize, coupled: bool) -> Self {
+        Self::with_backend(k.max(1), coupled, Backend::Lazy(RouteTable::new(k.max(1))))
+    }
+
+    /// Provider over a precomputed route plane; `k` comes from the
+    /// table. Pairs outside the table's domain fall back to a private
+    /// lazy table with identical semantics.
+    pub fn with_shared(table: Arc<SharedRouteTable>, coupled: bool) -> Self {
+        let k = table.k();
+        Self::with_backend(
+            k,
+            coupled,
+            Backend::Shared {
+                table,
+                fallback: RouteTable::new(k),
+            },
+        )
+    }
+
+    fn with_backend(k: usize, coupled: bool, backend: Backend) -> Self {
         Self {
             k,
             coupled,
-            rt: RouteTable::new(k.max(1)),
+            backend,
+            fail_switch: HashMap::new(),
+            affected: None,
             cache: HashMap::new(),
             epoch: 0,
         }
@@ -157,8 +215,85 @@ impl MptcpProvider {
     fn refresh(&mut self, epoch: u64) {
         if self.epoch != epoch {
             self.cache.clear();
+            self.fail_switch.clear();
+            self.affected = None;
             self.epoch = epoch;
         }
+    }
+
+    /// The server-level path set under the current failures; empty when
+    /// the pair is parked or disconnected.
+    fn compute_paths(
+        &mut self,
+        g: &Graph,
+        failed: &FailedLinks,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<Path> {
+        if !failed.any() {
+            return match &mut self.backend {
+                Backend::Lazy(rt) => rt.server_paths(g, src, dst),
+                Backend::Shared { table, fallback } => table
+                    .server_paths(g, src, dst)
+                    .unwrap_or_else(|| fallback.server_paths(g, src, dst)),
+            };
+        }
+        let k = self.k;
+        let masked_len = |l| {
+            if failed.is_down(l) {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        };
+        let (Some(si), Some(di)) = (g.server_uplink_switch(src), g.server_uplink_switch(dst))
+        else {
+            // Unattached endpoint: no switch pair to route over.
+            return yen::k_shortest_paths_by(g, src, dst, k, masked_len);
+        };
+        let up = g.find_link(src, si).expect("src uplink");
+        let down = g.find_link(di, dst).expect("dst downlink");
+        if failed.is_down(up) || failed.is_down(down) {
+            // Park only when the pair's own uplink is dead — every
+            // server-level path must cross both uplinks.
+            return Vec::new();
+        }
+        if si == di {
+            return vec![ksp::rack_path(g, src, si, dst)];
+        }
+        if let Backend::Shared { table, .. } = &self.backend {
+            if let Some(slot) = table.pair_slot(si, di) {
+                let affected = self
+                    .affected
+                    .get_or_insert_with(|| table.affected_slots(&failed.down_links()));
+                if affected.binary_search(&(slot as u32)).is_err() {
+                    // Footprint untouched: the precomputed paths are
+                    // bit-identical to a masked recomputation.
+                    let sp = table.switch_paths(si, di).expect("covered pair");
+                    return ksp::splice_server_pair(g, src, dst, sp);
+                }
+                let sp = self
+                    .fail_switch
+                    .entry((si, di))
+                    .or_insert_with(|| yen::k_shortest_paths_by(g, si, di, k, masked_len));
+                return ksp::splice_server_pair(g, src, dst, sp);
+            }
+        }
+        let rt = match &mut self.backend {
+            Backend::Lazy(rt) => rt,
+            Backend::Shared { fallback, .. } => fallback,
+        };
+        let (base, footprint) = rt.switch_paths_with_footprint(g, si, di);
+        if failed.path_alive(footprint) {
+            // No failed link anywhere in the pair's Yen footprint: the
+            // cached paths are bit-identical to a masked recomputation.
+            return ksp::splice_server_pair(g, src, dst, base);
+        }
+        let sp = self
+            .fail_switch
+            .entry((si, di))
+            .or_insert_with(|| yen::k_shortest_paths_by(g, si, di, k, masked_len));
+        ksp::splice_server_pair(g, src, dst, sp)
     }
 }
 
@@ -175,17 +310,7 @@ impl PathProvider for MptcpProvider {
         if let Some(cached) = self.cache.get(&key) {
             return cached.clone();
         }
-        let paths = if !failed.any() {
-            self.rt.server_paths(g, spec.src, spec.dst)
-        } else {
-            yen::k_shortest_paths_by(g, spec.src, spec.dst, self.k, |l| {
-                if failed.is_down(l) {
-                    f64::INFINITY
-                } else {
-                    1.0
-                }
-            })
-        };
+        let paths = self.compute_paths(g, failed, spec.src, spec.dst);
         let routed = if paths.is_empty() {
             None
         } else {
@@ -272,6 +397,82 @@ mod tests {
             let want = ecmp::select_by_hash(&all, s, t, id).unwrap();
             assert_eq!(arena.get(got.path_ids[0]), want, "flow {id}");
         }
+    }
+
+    #[test]
+    fn ecmp_failure_epoch_hashes_modulo_survivors() {
+        // Pins the documented failure-epoch contract: the per-flow hash
+        // indexes the *survivor* set, not the full equal-cost set.
+        let (g, s, t, via_x) = diamond();
+        let mut arena = PathArena::new();
+        let mut failed = FailedLinks::new(g.link_count());
+        failed.fail(via_x);
+        if let Some(rev) = g.link(via_x).reverse {
+            failed.fail(rev);
+        }
+        let survivors: Vec<_> = ecmp::equal_cost_paths(&g, s, t)
+            .into_iter()
+            .filter(|p| failed.path_alive(&p.links))
+            .collect();
+        assert_eq!(survivors.len(), 1, "diamond minus x leaves the y path");
+        let mut p = EcmpProvider::new();
+        for id in 0..16u64 {
+            let got = p.route(&g, &mut arena, &failed, &spec(id, s, t)).unwrap();
+            let i = (ecmp::flow_hash(s, t, id) % survivors.len() as u64) as usize;
+            assert_eq!(arena.get(got.path_ids[0]), &survivors[i], "flow {id}");
+        }
+    }
+
+    #[test]
+    fn mptcp_shared_table_matches_lazy_provider() {
+        let (g, s, t, via_x) = diamond();
+        let table = Arc::new(SharedRouteTable::build(&g, 2));
+        let mut failed = FailedLinks::new(g.link_count());
+        let mut arena_a = PathArena::new();
+        let mut arena_b = PathArena::new();
+        let mut lazy = MptcpProvider::new(2, true);
+        let mut shared = MptcpProvider::with_shared(table, true);
+        let same_paths = |a: &RoutedConn, aa: &PathArena, b: &RoutedConn, ab: &PathArena| {
+            let pa: Vec<_> = a.path_ids.iter().map(|&i| aa.get(i)).collect();
+            let pb: Vec<_> = b.path_ids.iter().map(|&i| ab.get(i)).collect();
+            pa == pb
+        };
+        let a = lazy
+            .route(&g, &mut arena_a, &failed, &spec(0, s, t))
+            .unwrap();
+        let b = shared
+            .route(&g, &mut arena_b, &failed, &spec(0, s, t))
+            .unwrap();
+        assert!(same_paths(&a, &arena_a, &b, &arena_b));
+        failed.fail(via_x);
+        if let Some(rev) = g.link(via_x).reverse {
+            failed.fail(rev);
+        }
+        let a = lazy
+            .route(&g, &mut arena_a, &failed, &spec(1, s, t))
+            .unwrap();
+        let b = shared
+            .route(&g, &mut arena_b, &failed, &spec(1, s, t))
+            .unwrap();
+        assert!(same_paths(&a, &arena_a, &b, &arena_b));
+        assert_eq!(a.path_ids.len(), 1, "x route must be gone");
+    }
+
+    #[test]
+    fn mptcp_parks_only_on_dead_uplink() {
+        let (g, s, t, _) = diamond();
+        let si = g.server_uplink_switch(s).unwrap();
+        let up = g.find_link(s, si).unwrap();
+        let mut arena = PathArena::new();
+        let mut failed = FailedLinks::new(g.link_count());
+        failed.fail(up);
+        let mut p = MptcpProvider::new(2, true);
+        assert!(
+            p.route(&g, &mut arena, &failed, &spec(0, s, t)).is_none(),
+            "dead uplink must park the connection"
+        );
+        // The reverse direction only needs t's uplink and s's downlink.
+        assert!(p.route(&g, &mut arena, &failed, &spec(1, t, s)).is_some());
     }
 
     #[test]

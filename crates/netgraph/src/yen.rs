@@ -24,6 +24,46 @@ pub fn k_shortest_paths_by<F>(g: &Graph, src: NodeId, dst: NodeId, k: usize, len
 where
     F: Fn(LinkId) -> f64,
 {
+    yen_core(g, src, dst, k, length, None)
+}
+
+/// [`k_shortest_paths`] plus the run's **footprint**: every link used by
+/// any path the algorithm examined — the selected paths *and* every
+/// candidate spur path generated along the way — sorted by id, deduped.
+///
+/// The footprint is the exact reuse certificate for route caches: if no
+/// footprint link is removed from the graph, re-running Yen on the
+/// pruned graph returns bit-identical paths, because every spur search
+/// of the original run found a path that still exists (Dijkstra returns
+/// the same path when its result survives pruning, so every candidate
+/// pool — and therefore every selection — is reproduced unchanged).
+/// If a removed link only avoids the *selected* paths, an equal-cost
+/// candidate replacement can still win a tie-break and change the
+/// output, so caches must key on the full footprint, not the selection.
+pub fn k_shortest_paths_with_footprint(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> (Vec<Path>, Vec<LinkId>) {
+    let mut footprint = Vec::new();
+    let paths = yen_core(g, src, dst, k, |_| 1.0, Some(&mut footprint));
+    footprint.sort_unstable_by_key(|l| l.idx());
+    footprint.dedup();
+    (paths, footprint)
+}
+
+fn yen_core<F>(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    length: F,
+    mut footprint: Option<&mut Vec<LinkId>>,
+) -> Vec<Path>
+where
+    F: Fn(LinkId) -> f64,
+{
     if k == 0 || src == dst {
         return Vec::new();
     }
@@ -31,6 +71,9 @@ where
     let Some(first) = shortest_path_masked(g, src, dst, &length, |_| true) else {
         return Vec::new();
     };
+    if let Some(fp) = footprint.as_deref_mut() {
+        fp.extend_from_slice(&first.1.links);
+    }
     selected.push(first);
 
     // Candidate pool; deduplicated by node sequence.
@@ -46,8 +89,10 @@ where
             let root_links = &last.links[..i];
             let root_cost: f64 = root_links.iter().map(|&l| length(l)).sum();
 
-            // Mask: links used by any selected/candidate-selected path that
-            // shares this root, plus all root nodes except the spur node.
+            // Mask: the next link of every *selected* path sharing this
+            // root (candidates stay routable — masking them too would
+            // wrongly suppress paths that are never selected), plus all
+            // root nodes except the spur node.
             let mut removed_links: HashSet<LinkId> = HashSet::new();
             for (_, p) in &selected {
                 if p.nodes.len() > i && p.nodes[..=i] == *root_nodes {
@@ -79,6 +124,9 @@ where
             links.extend_from_slice(&spur_path.links);
             let total = Path { nodes, links };
             debug_assert!(total.validate(g).is_ok(), "Yen stitched an invalid path");
+            if let Some(fp) = footprint.as_deref_mut() {
+                fp.extend_from_slice(&total.links);
+            }
             if candidate_keys.insert(total.nodes.clone()) {
                 candidates.push((root_cost + spur_cost, total));
             }

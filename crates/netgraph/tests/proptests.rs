@@ -106,3 +106,88 @@ proptest! {
         }
     }
 }
+
+/// Every simple path from `src` to `dst` by exhaustive DFS; node
+/// sequences only. Small graphs only — the count is exponential.
+fn all_simple_paths(g: &Graph, src: NodeId, dst: NodeId) -> Vec<Vec<NodeId>> {
+    fn dfs(
+        g: &Graph,
+        u: NodeId,
+        dst: NodeId,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut Vec<bool>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if u == dst {
+            out.push(stack.clone());
+            return;
+        }
+        for &(v, _) in g.neighbors(u) {
+            if !on_path[v.idx()] {
+                on_path[v.idx()] = true;
+                stack.push(v);
+                dfs(g, v, dst, stack, on_path, out);
+                stack.pop();
+                on_path[v.idx()] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut on_path = vec![false; g.node_count()];
+    on_path[src.idx()] = true;
+    dfs(g, src, dst, &mut vec![src], &mut on_path, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen against brute force: the returned hop counts are exactly the
+    /// k smallest over all simple paths, every returned path exists, and
+    /// with k at least the total count the output is the full simple-path
+    /// set in canonical (length, lexicographic) order.
+    #[test]
+    fn yen_matches_brute_force(n in 4usize..8, extra in 0usize..7, seed in any::<u64>(), k in 1usize..7) {
+        let g = random_connected(n, extra, seed);
+        let src = NodeId(0);
+        let dst = NodeId(n as u32 - 1);
+        let got = yen::k_shortest_paths(&g, src, dst, k);
+        let mut all = all_simple_paths(&g, src, dst);
+        all.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        let want_hops: Vec<usize> = all.iter().take(k).map(|p| p.len() - 1).collect();
+        let got_hops: Vec<usize> = got.iter().map(netgraph::Path::len).collect();
+        prop_assert_eq!(got_hops, want_hops, "hop-count multiset must be the k smallest");
+        let universe: std::collections::HashSet<&[NodeId]> =
+            all.iter().map(Vec::as_slice).collect();
+        for p in &got {
+            prop_assert!(universe.contains(p.nodes.as_slice()), "path not in enumeration");
+        }
+        if k >= all.len() {
+            let got_nodes: Vec<Vec<NodeId>> = got.iter().map(|p| p.nodes.clone()).collect();
+            prop_assert_eq!(got_nodes, all, "exhaustive k must return every simple path");
+        }
+    }
+
+    /// The footprint is a valid reuse certificate: masking any link the
+    /// run never examined reproduces the unmasked output bit-for-bit.
+    #[test]
+    fn yen_footprint_certifies_reuse(n in 4usize..10, extra in 0usize..8, seed in any::<u64>(), k in 1usize..6) {
+        let g = random_connected(n, extra, seed);
+        let src = NodeId(0);
+        let dst = NodeId(n as u32 - 1);
+        let (base, fp) = yen::k_shortest_paths_with_footprint(&g, src, dst, k);
+        prop_assert!(fp.windows(2).all(|w| w[0].idx() < w[1].idx()), "sorted, deduped");
+        let fpset: std::collections::HashSet<_> = fp.iter().copied().collect();
+        for p in &base {
+            for l in &p.links {
+                prop_assert!(fpset.contains(l), "selected links must be in the footprint");
+            }
+        }
+        for dead in g.link_ids().filter(|l| !fpset.contains(l)).take(6) {
+            let masked = yen::k_shortest_paths_by(&g, src, dst, k, |l| {
+                if l == dead { f64::INFINITY } else { 1.0 }
+            });
+            prop_assert_eq!(&masked, &base, "non-footprint mask changed the output");
+        }
+    }
+}

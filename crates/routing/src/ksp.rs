@@ -8,15 +8,69 @@
 //! demand — the same aggregation that reduces network state by the
 //! paper's 400–1600×.
 
-use netgraph::{yen, Graph, NodeId, Path};
+use netgraph::{yen, Graph, LinkId, NodeId, Path};
 use std::collections::HashMap;
+
+/// The single 2-hop path between two servers on the same ingress switch.
+///
+/// Panics when either server is not attached to `si` — callers resolve
+/// the switch via [`Graph::server_uplink_switch`] first.
+pub fn rack_path(g: &Graph, src: NodeId, si: NodeId, dst: NodeId) -> Path {
+    Path::from_nodes(g, &[src, si, dst]).expect("rack path")
+}
+
+/// Splices the `src` uplink and `dst` downlink onto a switch-pair path
+/// set: the §4.2.1 Observation 1 step turning ingress/egress switch
+/// paths into server-level paths. The switch paths must run from
+/// `src`'s ingress switch to `dst`'s (distinct) ingress switch.
+pub fn splice_server_pair(g: &Graph, src: NodeId, dst: NodeId, switch_paths: &[Path]) -> Vec<Path> {
+    if switch_paths.is_empty() {
+        return Vec::new();
+    }
+    let up = g.find_link(src, switch_paths[0].src()).expect("src uplink");
+    let down = g
+        .find_link(switch_paths[0].dst(), dst)
+        .expect("dst downlink");
+    let paths: Vec<Path> = switch_paths
+        .iter()
+        .map(|sp| {
+            let mut nodes = Vec::with_capacity(sp.nodes.len() + 2);
+            nodes.push(src);
+            nodes.extend_from_slice(&sp.nodes);
+            nodes.push(dst);
+            let mut links = Vec::with_capacity(sp.links.len() + 2);
+            links.push(up);
+            links.extend_from_slice(&sp.links);
+            links.push(down);
+            Path { nodes, links }
+        })
+        .collect();
+    #[cfg(feature = "strict-invariants")]
+    for p in &paths {
+        debug_assert!(
+            p.validate(g).is_ok(),
+            "spliced server path is invalid: {:?}",
+            p.validate(g)
+        );
+    }
+    paths
+}
+
+/// One cached switch pair: the selected paths plus the Yen run's link
+/// footprint (every link any examined path used), the exact certificate
+/// for reusing the entry after link failures.
+#[derive(Debug, Clone)]
+struct PairEntry {
+    paths: Vec<Path>,
+    footprint: Vec<LinkId>,
+}
 
 /// A lazy k-shortest-path routing table over one network instance.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     /// Number of concurrent paths (k in k-shortest-path routing).
     pub k: usize,
-    cache: HashMap<(NodeId, NodeId), Vec<Path>>,
+    cache: HashMap<(NodeId, NodeId), PairEntry>,
 }
 
 impl RouteTable {
@@ -29,11 +83,29 @@ impl RouteTable {
         }
     }
 
+    fn entry(&mut self, g: &Graph, a: NodeId, b: NodeId) -> &PairEntry {
+        self.cache.entry((a, b)).or_insert_with(|| {
+            let (paths, footprint) = yen::k_shortest_paths_with_footprint(g, a, b, self.k);
+            PairEntry { paths, footprint }
+        })
+    }
+
     /// The switch-level paths between two switches, computed on first use.
     pub fn switch_paths(&mut self, g: &Graph, a: NodeId, b: NodeId) -> &[Path] {
-        self.cache
-            .entry((a, b))
-            .or_insert_with(|| yen::k_shortest_paths(g, a, b, self.k))
+        &self.entry(g, a, b).paths
+    }
+
+    /// The switch-level paths plus the pair's Yen link footprint: if no
+    /// footprint link is failed, the paths are bit-identical to what a
+    /// failure-aware recomputation would return.
+    pub fn switch_paths_with_footprint(
+        &mut self,
+        g: &Graph,
+        a: NodeId,
+        b: NodeId,
+    ) -> (&[Path], &[LinkId]) {
+        let e = self.entry(g, a, b);
+        (&e.paths, &e.footprint)
     }
 
     /// The server-level paths for a (src, dst) server pair: the cached
@@ -50,35 +122,9 @@ impl RouteTable {
             .server_uplink_switch(dst)
             .expect("dst must be an attached server");
         if si == di {
-            let p = Path::from_nodes(g, &[src, si, dst]).expect("rack path");
-            return vec![p];
+            return vec![rack_path(g, src, si, dst)];
         }
-        let up = g.find_link(src, si).expect("src uplink");
-        let down = g.find_link(di, dst).expect("dst downlink");
-        let paths: Vec<Path> = self
-            .switch_paths(g, si, di)
-            .iter()
-            .map(|sp| {
-                let mut nodes = Vec::with_capacity(sp.nodes.len() + 2);
-                nodes.push(src);
-                nodes.extend_from_slice(&sp.nodes);
-                nodes.push(dst);
-                let mut links = Vec::with_capacity(sp.links.len() + 2);
-                links.push(up);
-                links.extend_from_slice(&sp.links);
-                links.push(down);
-                Path { nodes, links }
-            })
-            .collect();
-        #[cfg(feature = "strict-invariants")]
-        for p in &paths {
-            debug_assert!(
-                p.validate(g).is_ok(),
-                "spliced server path is invalid: {:?}",
-                p.validate(g)
-            );
-        }
-        paths
+        splice_server_pair(g, src, dst, self.switch_paths(g, si, di))
     }
 
     /// Number of cached switch pairs (diagnostics).

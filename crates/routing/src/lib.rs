@@ -4,6 +4,10 @@
 //!   and 2, paths are computed and cached at the **ingress/egress switch**
 //!   level and spliced with the single server uplinks, which is both the
 //!   paper's state-reduction trick and a large computational win.
+//! * [`plane`] — the shared route plane: an immutable, fully-precomputed
+//!   switch-pair table built in parallel (deterministically), with an
+//!   exact failure overlay that recomputes only the pairs a failed link
+//!   can affect.
 //! * [`addressing`] — the flat-tree IPv4 address layout of Figure 5:
 //!   `10/8 | 13-bit switch id | 3-bit path id | 2-bit topology mode |
 //!   6-bit server id`, with per-mode address sets preconfigured on every
@@ -23,6 +27,7 @@
 
 pub mod addressing;
 pub mod ksp;
+pub mod plane;
 pub mod rules;
 pub mod segment;
 pub mod source_routing;
@@ -30,6 +35,7 @@ pub mod two_level;
 
 pub use addressing::{AddressPlan, FlatTreeAddress, TopologyModeId};
 pub use ksp::RouteTable;
+pub use plane::{RouteOverlay, SharedRouteTable};
 pub use rules::{Rule, RuleMatch, RuleSet, StateAnalysis};
 pub use segment::{LabelStack, Pce};
 pub use two_level::TwoLevelRouting;

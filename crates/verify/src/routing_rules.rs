@@ -14,7 +14,7 @@ use flowsim::provider::{MptcpProvider, PathProvider};
 use flowsim::sim::FlowSpec;
 use netgraph::{Graph, NodeId, Path, PathArena};
 use routing::source_routing::{self, SourceRouteHeader, INITIAL_TTL, MAX_HOPS};
-use routing::RouteTable;
+use routing::SharedRouteTable;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The ingress switches of an instance (every switch with a server),
@@ -215,7 +215,19 @@ pub fn check_with_truncation(
 ) -> Vec<Finding> {
     let g = &inst.net.graph;
     let ingress = ingress_switches(inst);
-    let mut rt = RouteTable::new(k);
+    // Precompute every ordered ingress pair's path set in parallel; the
+    // FT-R checks then reuse the table instead of running Yen serially
+    // pair-by-pair. Iteration order (and thus finding order) is the
+    // same nested ascending order as before.
+    let pairs: Vec<(NodeId, NodeId)> = ingress
+        .keys()
+        .flat_map(|&a| {
+            ingress
+                .keys()
+                .filter_map(move |&b| (a != b).then_some((a, b)))
+        })
+        .collect();
+    let rt = SharedRouteTable::build_for_pairs(g, k, &pairs);
     let mut out = Vec::new();
     let mut pair_index = 0usize;
     for (&a, &sa) in &ingress {
@@ -223,7 +235,10 @@ pub fn check_with_truncation(
             if a == b {
                 continue;
             }
-            let paths = rt.switch_paths(g, a, b).to_vec();
+            let paths = rt
+                .switch_paths(a, b)
+                .expect("ingress pair covered by the table")
+                .to_vec();
             let paths = if pair_index < truncate_pairs {
                 Vec::new()
             } else {
