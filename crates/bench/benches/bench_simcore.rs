@@ -11,6 +11,7 @@ use flat_tree::PodMode;
 use flowsim::reference::simulate_reference;
 use flowsim::{simulate, LinkFailure, SimConfig, Transport};
 use ft_bench::experiments::common;
+use mcf::{AllocWorkspace, IncrementalAllocator};
 use netgraph::{Graph, LinkId};
 use topology::DcNetwork;
 
@@ -42,6 +43,81 @@ fn workload(net: &DcNetwork, rounds: u64) -> Vec<flowsim::FlowSpec> {
         }
     }
     flows
+}
+
+/// Deterministic synthetic groups (8 subflows, 3–5 links each) over a
+/// fixed link range, mimicking the engine's MPTCP churn.
+fn churn_groups(n_links: usize, n_groups: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    (0..n_groups)
+        .map(|_| {
+            (0..8)
+                .map(|_| {
+                    let len = 3 + (next() % 3) as usize;
+                    (0..len)
+                        .map(|_| (next() % n_links as u64) as usize)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Allocator-level comparison on an arrival/departure churn: the
+/// incremental allocator applies each edit and re-allocates, while the
+/// from-scratch variant rebuilds an [`AllocWorkspace`] per event — the
+/// exact work `connection_rates` used to do inside the engine. Both
+/// produce bit-identical rates (pinned by the mcf proptests); this
+/// measures the per-event cost gap.
+fn bench_alloc_churn(c: &mut Criterion) {
+    const LINKS: usize = 768;
+    const RESIDENT: usize = 64;
+    const STEPS: usize = 256;
+    let caps = vec![10.0f64; LINKS];
+    let groups = churn_groups(LINKS, RESIDENT + STEPS);
+    c.bench_function("simcore/alloc_incremental_churn", |b| {
+        b.iter(|| {
+            let mut a = IncrementalAllocator::new();
+            for g in &groups[..RESIDENT] {
+                a.push_group(1.0, g.iter().map(|p| p.iter().copied()));
+            }
+            a.allocate(&caps);
+            let mut acc = 0.0f64;
+            for (step, g) in groups[RESIDENT..].iter().enumerate() {
+                a.swap_remove_group(step % RESIDENT);
+                a.push_group(1.0, g.iter().map(|p| p.iter().copied()));
+                a.allocate(&caps);
+                acc += a.group_rate_sum(a.group_at(0));
+            }
+            acc
+        });
+    });
+    c.bench_function("simcore/alloc_workspace_churn", |b| {
+        b.iter(|| {
+            let mut resident: Vec<&Vec<Vec<usize>>> = groups[..RESIDENT].iter().collect();
+            let mut ws = AllocWorkspace::new();
+            let mut acc = 0.0f64;
+            for (step, g) in groups[RESIDENT..].iter().enumerate() {
+                resident.swap_remove(step % RESIDENT);
+                resident.push(g);
+                for grp in &resident {
+                    for path in *grp {
+                        ws.push_entity(1.0, path.iter().copied());
+                    }
+                }
+                let rates = ws.allocate(&caps);
+                acc += rates[0];
+                ws.clear();
+            }
+            acc
+        });
+    });
 }
 
 fn bench(c: &mut Criterion) {
@@ -89,6 +165,6 @@ fn bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench
+    targets = bench, bench_alloc_churn
 }
 criterion_main!(benches);

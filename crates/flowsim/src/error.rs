@@ -30,6 +30,12 @@ pub enum SimError {
         /// The shared endpoint.
         node: NodeId,
     },
+    /// A rate receiver handed to the allocator was malformed (empty
+    /// path or non-positive fairness weight).
+    InvalidAllocEntity {
+        /// The allocator's typed rejection.
+        source: mcf::AllocError,
+    },
     /// A timed link failure's time is NaN or infinite.
     NonFiniteFailureTime,
     /// A timed link failure names a link outside the graph.
@@ -50,6 +56,9 @@ impl std::fmt::Display for SimError {
             }
             Self::SelfFlow { flow, node } => {
                 write!(f, "flow {flow}: source equals destination (node {node:?})")
+            }
+            Self::InvalidAllocEntity { source } => {
+                write!(f, "allocation entity rejected: {source}")
             }
             Self::NonFiniteFailureTime => write!(f, "link failure time is not finite"),
             Self::UnknownFailedLink { link } => {

@@ -67,6 +67,7 @@ pub mod provider;
 pub mod reference;
 pub mod sim;
 
+pub use alloc::AllocTelemetry;
 pub use error::{FaultError, SimError};
 pub use failures::FailedLinks;
 pub use faults::{AuditReport, ControlFaults, FaultPlan, FaultSchedule, LinkEvent, StuckConfig};
@@ -74,9 +75,9 @@ pub use provider::{EcmpProvider, MptcpProvider, PathProvider, RoutedConn};
 pub use sim::{
     simulate, simulate_under_faults, simulate_under_faults_traced,
     simulate_under_faults_with_provider, simulate_under_faults_with_provider_traced,
-    simulate_with_provider, try_simulate, try_simulate_traced, try_simulate_with_provider,
-    try_simulate_with_provider_traced, FaultSimOutcome, FlowRecord, FlowSpec, LinkFailure,
-    SimConfig, SimResult, Transport,
+    simulate_with_provider, simulate_with_telemetry, try_simulate, try_simulate_traced,
+    try_simulate_with_provider, try_simulate_with_provider_traced, FaultSimOutcome, FlowRecord,
+    FlowSpec, LinkFailure, SimConfig, SimResult, Transport,
 };
 // Re-exported so traced callers need not depend on `obs` directly.
 pub use obs::{JsonlSink, NoopSink, ParkCause, RingSink, TraceEvent, TraceSink};

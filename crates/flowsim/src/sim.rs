@@ -1,19 +1,29 @@
 //! The discrete-event simulation loop.
 //!
 //! The engine works on interned paths ([`netgraph::PathArena`]): active
-//! connections hold `PathId`s, rate allocation runs on a reusable
-//! [`mcf::AllocWorkspace`], failures live in a dense
+//! connections hold `PathId`s, rate allocation runs incrementally
+//! through persistent `Bindings` (`crate::alloc`) over an
+//! [`mcf::IncrementalAllocator`], failures live in a dense
 //! [`FailedLinks`] set, and routing goes
 //! through a [`PathProvider`] whose cache is invalidated by failure
 //! epoch. The produced [`SimResult`] is bit-identical to the
 //! pre-refactor engine (kept as
 //! [`reference::simulate_reference`](crate::reference::simulate_reference)).
+//!
+//! # Event batching
+//!
+//! All events that land within `1e-15` s of the epoch time — arrivals,
+//! completions, legacy failures, and fault-plan edges — are drained in
+//! one pass before the next allocation runs, so simultaneous events
+//! form a single allocation epoch rather than one epoch each. The
+//! incremental allocator then reconciles exactly the entities that
+//! batch touched.
 
+use crate::alloc::{AllocTelemetry, Bindings};
 use crate::error::SimError;
 use crate::failures::FailedLinks;
 use crate::faults::{AuditReport, FaultSchedule, LinkEvent};
 use crate::provider::{EcmpProvider, MptcpProvider, PathProvider};
-use mcf::AllocWorkspace;
 use netgraph::{Graph, LinkId, NodeId, PathArena, PathId};
 use obs::{NoopSink, ParkCause, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
@@ -331,7 +341,48 @@ pub fn try_simulate_with_provider_traced<P: PathProvider + ?Sized, S: TraceSink>
     sink: &mut S,
 ) -> Result<SimResult, SimError> {
     validate_inputs(g, flows, cfg)?;
-    Ok(run_engine(g, flows, cfg, provider, &[], None, sink))
+    Ok(run_engine(g, flows, cfg, provider, &[], None, None, sink))
+}
+
+/// [`simulate_under_faults_with_provider`] that additionally sums the
+/// incremental allocator's per-epoch effort counters into `telemetry`.
+///
+/// An empty `schedule` takes exactly the fault-free code path (modulo
+/// the auditor, which never perturbs the result), so this one entry
+/// point serves both the steady-state and failure benchmarks. The
+/// counters are plain integer adds on the epoch boundary; they do not
+/// change the simulation.
+pub fn simulate_with_telemetry<P: PathProvider + ?Sized>(
+    g: &Graph,
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    schedule: &FaultSchedule,
+    provider: &mut P,
+    telemetry: &mut AllocTelemetry,
+) -> Result<FaultSimOutcome, SimError> {
+    validate_inputs(g, flows, cfg)?;
+    for ev in &schedule.events {
+        if !ev.time.is_finite() {
+            return Err(SimError::NonFiniteFailureTime);
+        }
+        if ev.link.idx() >= g.link_count() {
+            return Err(SimError::UnknownFailedLink {
+                link: ev.link.idx(),
+            });
+        }
+    }
+    let mut audit = AuditReport::default();
+    let result = run_engine(
+        g,
+        flows,
+        cfg,
+        provider,
+        &schedule.events,
+        Some(&mut audit),
+        Some(telemetry),
+        &mut NoopSink,
+    );
+    Ok(FaultSimOutcome { result, audit })
 }
 
 /// Runs the fluid simulation under a compiled fault schedule, with the
@@ -422,6 +473,7 @@ pub fn simulate_under_faults_with_provider_traced<P: PathProvider + ?Sized, S: T
         provider,
         &schedule.events,
         Some(&mut audit),
+        None,
         sink,
     );
     Ok(FaultSimOutcome { result, audit })
@@ -434,6 +486,7 @@ pub fn simulate_under_faults_with_provider_traced<P: PathProvider + ?Sized, S: T
 /// [`TraceSink::enabled`]; with [`NoopSink`] the guards (and event
 /// construction) compile away, so tracing never perturbs the
 /// simulation.
+#[allow(clippy::too_many_arguments)]
 fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
     g: &Graph,
     flows: &[FlowSpec],
@@ -441,6 +494,7 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
     provider: &mut P,
     schedule: &[LinkEvent],
     mut audit: Option<&mut AuditReport>,
+    mut telemetry: Option<&mut AllocTelemetry>,
     sink: &mut S,
 ) -> SimResult {
     let mut caps = g.capacities();
@@ -453,7 +507,12 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
     let mut parked: Vec<Active> = Vec::new();
     let mut next_event = 0usize;
     let mut arena = PathArena::new();
-    let mut ws = AllocWorkspace::new();
+    // Persistent subflow→entity bindings: mirrors `active` inside the
+    // incremental allocator so each epoch re-solves only what the event
+    // batch dirtied. `needs_resync` is set by fault edges that reshuffle
+    // positions wholesale (park / revive / stall-drop).
+    let mut bind = Bindings::new();
+    let mut needs_resync = false;
 
     // Records in input order; simulation works on a start-sorted index.
     let mut records: Vec<FlowRecord> = flows
@@ -487,37 +546,31 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
     let mut series = Vec::new();
     let mut t = 0.0f64;
 
-    // Reused across events: subflow→connection owner map and the folded
-    // per-connection rates.
-    let mut owner: Vec<u32> = Vec::new();
+    // Folded per-connection rates, reused across events.
     let mut rates: Vec<f64> = Vec::new();
     // Per-link carried rate, only touched when the sink is live.
     let mut util_used: Vec<f64> = Vec::new();
 
     loop {
-        // Allocate under the current active set. Entities are pushed in
-        // (connection, subflow) order — exactly the entity list the old
-        // engine built per event — so the rates are bit-identical.
-        ws.clear();
-        owner.clear();
-        for (ci, a) in active.iter().enumerate() {
-            for &pid in &a.path_ids {
-                ws.push_entity(a.subflow_weight, arena.links(pid).iter().map(|l| l.idx()));
-                owner.push(ci as u32);
-            }
+        // Allocate under the current active set. The bindings hold
+        // entities in (connection, subflow) order — exactly the entity
+        // list the old engine rebuilt per event — and the incremental
+        // allocator reconciles only the links the last event batch
+        // dirtied, so the rates are bit-identical at a fraction of the
+        // cost.
+        bind.allocate(&caps);
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.absorb(bind.stats());
         }
-        ws.allocate(&caps);
-        let sub_rates = ws.rates();
         if let Some(rep) = audit.as_deref_mut() {
             // Invariant 1: no subflow carries rate over a down link.
-            let mut si = 0usize;
-            for a in &active {
-                for &pid in &a.path_ids {
+            for (ci, a) in active.iter().enumerate() {
+                let sub = bind.subflow_rates(ci);
+                for (&pid, &r) in a.path_ids.iter().zip(sub) {
                     rep.checks += 1;
-                    if sub_rates[si] > STALL_RATE && !failed.path_alive(arena.links(pid)) {
+                    if r > STALL_RATE && !failed.path_alive(arena.links(pid)) {
                         rep.rate_on_down_link += 1;
                     }
-                    si += 1;
                 }
             }
         }
@@ -525,18 +578,16 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
             sink.emit(TraceEvent::Alloc {
                 t,
                 conns: active.len(),
-                subflows: owner.len(),
-                rounds: ws.last_rounds(),
+                subflows: bind.num_subflows(),
+                rounds: bind.rounds(),
             });
             // Per-epoch link-utilization histogram over links that
             // currently carry capacity.
             util_used.clear();
             util_used.resize(caps.len(), 0.0);
-            let mut si = 0usize;
-            for a in &active {
-                for &pid in &a.path_ids {
-                    let r = sub_rates[si];
-                    si += 1;
+            for (ci, a) in active.iter().enumerate() {
+                let sub = bind.subflow_rates(ci);
+                for (&pid, &r) in a.path_ids.iter().zip(sub) {
                     if r > 0.0 {
                         for l in arena.links(pid) {
                             util_used[l.idx()] += r;
@@ -567,10 +618,7 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
             });
         }
         rates.clear();
-        rates.resize(active.len(), 0.0);
-        for (&r, &ci) in sub_rates.iter().zip(&owner) {
-            rates[ci as usize] += r;
-        }
+        rates.extend((0..active.len()).map(|ci| bind.conn_rate(ci)));
         if cfg.record_series {
             series.push((t, rates.iter().sum()));
         }
@@ -616,6 +664,7 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
                     });
                 }
                 active.swap_remove(i);
+                bind.swap_remove(i);
             } else {
                 i += 1;
             }
@@ -634,6 +683,7 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
                             paths: conn.path_ids.len(),
                         });
                     }
+                    bind.push(&arena, &conn.path_ids, conn.subflow_weight);
                     active.push(Active {
                         rec_idx: idx,
                         spec,
@@ -766,9 +816,13 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
                 }
             }
             parked = still_parked;
+            // Every position may have moved or changed paths: full
+            // binding invalidation.
+            needs_resync = true;
         } else if failed_now {
-            // Re-route connections that lost a subflow.
-            for a in &mut active {
+            // Re-route connections that lost a subflow; each keeps its
+            // position, so the binding is replaced in place.
+            for (ci, a) in active.iter_mut().enumerate() {
                 let hit = a
                     .path_ids
                     .iter()
@@ -782,6 +836,14 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
                         // Keep only surviving subflows (possibly none).
                         a.path_ids
                             .retain(|&pid| failed.path_alive(arena.links(pid)));
+                    }
+                    if a.path_ids.is_empty() {
+                        // Zero subflows left: unbindable. The park /
+                        // drop pass below removes it, then the bindings
+                        // are rebuilt.
+                        needs_resync = true;
+                    } else {
+                        bind.replace(&arena, ci, &a.path_ids, a.subflow_weight);
                     }
                     if sink.enabled() {
                         sink.emit(TraceEvent::FlowReroute {
@@ -808,6 +870,7 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
                             });
                         }
                         parked.push(active.remove(i));
+                        needs_resync = true;
                         if let Some(rep) = audit.as_deref_mut() {
                             rep.parked += 1;
                         }
@@ -818,7 +881,11 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
             } else {
                 // Permanently stalled connections drop out; finish stays
                 // None.
+                let before = active.len();
                 active.retain(|a| !a.path_ids.is_empty());
+                if active.len() != before {
+                    needs_resync = true;
+                }
             }
             if let Some(rep) = audit.as_deref_mut() {
                 // Invariant 2: every connection kept active after a
@@ -833,6 +900,19 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
                     }
                 }
             }
+        }
+        if needs_resync {
+            // Fault edge reshuffled positions (park / revive / drop):
+            // rebuild the bindings from the active vector. Correct by
+            // construction, and rare — it only runs on failure-epoch or
+            // recovery boundaries, never on the arrival/completion path.
+            bind.resync(
+                &arena,
+                active
+                    .iter()
+                    .map(|a| (a.path_ids.as_slice(), a.subflow_weight)),
+            );
+            needs_resync = false;
         }
     }
 

@@ -197,3 +197,140 @@ proptest! {
         prop_assert_eq!(out.audit, again.audit);
     }
 }
+
+/// Engine-level pinning of the incremental allocator: under random
+/// arrival/departure/failure-epoch sequences the refactored engine
+/// (persistent bindings, dirty-set allocation) must match the preserved
+/// from-scratch reference engine bit for bit at every epoch — the
+/// series is the per-epoch aggregate rate, so one differing allocation
+/// anywhere shows up as a bit flip here.
+mod incremental_engine {
+    use super::*;
+    use flowsim::sim::LinkFailure;
+    use flowsim::{reference::simulate_reference, TraceEvent, TraceSink};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn engine_matches_reference_bitwise_under_failures(
+            n_flows in 1usize..24,
+            n_fails in 0usize..4,
+            seed in any::<u64>(),
+            mptcp in any::<bool>(),
+        ) {
+            let net = mini_net();
+            let flows: Vec<FlowSpec> = random_flows(net.servers.len(), n_flows, seed)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, d, bytes, start))| FlowSpec {
+                    id: i as u64,
+                    src: net.servers[s],
+                    dst: net.servers[d],
+                    bytes,
+                    start,
+                })
+                .collect();
+            let cables: Vec<netgraph::LinkId> = net
+                .graph
+                .link_ids()
+                .filter(|&l| match net.graph.link(l).reverse {
+                    Some(rev) => l.idx() < rev.idx(),
+                    None => true,
+                })
+                .collect();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x9e3779b9);
+            let link_failures: Vec<LinkFailure> = (0..n_fails)
+                .map(|_| LinkFailure {
+                    time: rng.gen_range(0.0..0.8),
+                    link: cables[rng.gen_range(0..cables.len())],
+                })
+                .collect();
+            let cfg = SimConfig {
+                transport: if mptcp {
+                    Transport::mptcp8()
+                } else {
+                    Transport::TcpEcmp
+                },
+                link_failures,
+                record_series: true,
+            };
+            let new = simulate(&net.graph, &flows, &cfg);
+            let old = simulate_reference(&net.graph, &flows, &cfg);
+            prop_assert_eq!(&new.records, &old.records);
+            prop_assert_eq!(new.series.len(), old.series.len());
+            for (a, b) in new.series.iter().zip(&old.series) {
+                prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            prop_assert_eq!(new.end_time.to_bits(), old.end_time.to_bits());
+        }
+    }
+
+    /// Counts allocation epochs; everything else is dropped.
+    struct AllocCounter {
+        epochs: usize,
+    }
+
+    impl TraceSink for AllocCounter {
+        fn emit(&mut self, ev: TraceEvent) {
+            if matches!(ev, TraceEvent::Alloc { .. }) {
+                self.epochs += 1;
+            }
+        }
+    }
+
+    /// Same-timestamp batching contract: events landing within the
+    /// engine's `1e-15` coalescing window form ONE allocation epoch.
+    /// Eight flows arriving at the same instant must not cost eight
+    /// epochs — this pins the batching semantics the incremental
+    /// allocator's dirty-set pass relies on.
+    #[test]
+    fn same_timestamp_arrivals_batch_into_one_epoch() {
+        let net = mini_net();
+        let mk = |starts: &[f64]| -> Vec<FlowSpec> {
+            starts
+                .iter()
+                .enumerate()
+                .map(|(i, &start)| FlowSpec {
+                    id: i as u64,
+                    src: net.servers[i % net.servers.len()],
+                    dst: net.servers[(i + 3) % net.servers.len()],
+                    bytes: 1e7,
+                    start,
+                })
+                .collect()
+        };
+        let cfg = SimConfig {
+            transport: Transport::mptcp8(),
+            ..SimConfig::default()
+        };
+        // All eight arrive at t = 0.1 exactly: epoch count must match
+        // a single staggered arrival count, not scale with the batch.
+        let batched = mk(&[0.1; 8]);
+        let mut sink = AllocCounter { epochs: 0 };
+        let res = flowsim::try_simulate_traced(&net.graph, &batched, &cfg, &mut sink)
+            .expect("valid workload");
+        // Epochs: t=0 bootstrap, the t=0.1 batch, then one per
+        // distinct completion instant — never one per arrival.
+        let distinct_finishes = {
+            let mut f: Vec<u64> = res
+                .records
+                .iter()
+                .map(|r| r.finish.expect("completes").to_bits())
+                .collect();
+            f.sort_unstable();
+            f.dedup();
+            f.len()
+        };
+        assert_eq!(
+            sink.epochs,
+            2 + distinct_finishes,
+            "same-instant arrivals must form one allocation epoch"
+        );
+        // And the batch is semantically identical to listing the same
+        // instant eight times in any order — reference agrees.
+        let old = simulate_reference(&net.graph, &batched, &cfg);
+        assert_eq!(res.records, old.records);
+    }
+}

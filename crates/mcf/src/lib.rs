@@ -28,13 +28,18 @@
 //! [`workspace::AllocWorkspace`], a caller-owned scratch that hot loops
 //! (the fluid simulator) reuse across allocations;
 //! [`maxmin::weighted_max_min`] is a thin convenience wrapper over it.
+//! [`incremental::IncrementalAllocator`] layers persistent state and
+//! dirty-set reconciliation on top for callers whose entity population
+//! changes a little at a time — bit-identical output, incremental cost.
 
 pub mod concurrent;
 pub mod greedy;
+pub mod incremental;
 pub mod maxmin;
 pub mod workspace;
 
-pub use workspace::AllocWorkspace;
+pub use incremental::{AllocStats, GroupId, IncrementalAllocator};
+pub use workspace::{AllocError, AllocWorkspace};
 
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};

@@ -11,6 +11,36 @@
 //! `weighted_max_min` in the exact order, so the two produce bit-identical
 //! rates for the same input (pinned by tests and a property test).
 
+use std::fmt;
+
+/// Why an entity was rejected by [`AllocWorkspace::try_push_entity`] (or
+/// a group by
+/// [`IncrementalAllocator::try_push_group`](crate::incremental::IncrementalAllocator::try_push_group)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocError {
+    /// The entity crosses no links; a real flow always occupies at least
+    /// its two NIC links.
+    EmptyPath,
+    /// The fairness weight is zero, negative, or not finite.
+    NonPositiveWeight {
+        /// The rejected weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyPath => write!(f, "entity with empty path"),
+            Self::NonPositiveWeight { weight } => {
+                write!(f, "entity weight must be positive (got {weight})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
 /// Caller-owned scratch for repeated max-min allocations.
 ///
 /// Usage per round: [`clear`](Self::clear), one
@@ -52,17 +82,37 @@ impl AllocWorkspace {
     /// Adds one rate receiver crossing the given link indices.
     ///
     /// Panics on an empty link set or non-positive weight, matching
-    /// `weighted_max_min`'s input contract.
+    /// `weighted_max_min`'s input contract. Fallible callers (anything
+    /// fed from external input) should use
+    /// [`try_push_entity`](Self::try_push_entity) instead.
     pub fn push_entity(&mut self, weight: f64, links: impl IntoIterator<Item = usize>) {
-        assert!(weight > 0.0, "entity weight must be positive");
+        if let Err(e) = self.try_push_entity(weight, links) {
+            panic!("{e}");
+        }
+    }
+
+    /// Adds one rate receiver, rejecting an empty link set or
+    /// non-positive weight with a typed error instead of panicking. On
+    /// error the workspace is unchanged.
+    pub fn try_push_entity(
+        &mut self,
+        weight: f64,
+        links: impl IntoIterator<Item = usize>,
+    ) -> Result<(), AllocError> {
+        if weight.is_nan() || weight <= 0.0 {
+            return Err(AllocError::NonPositiveWeight { weight });
+        }
         if self.ent_off.is_empty() {
             self.ent_off.push(0);
         }
         let before = self.ent_links.len();
         self.ent_links.extend(links.into_iter().map(|l| l as u32));
-        assert!(self.ent_links.len() > before, "entity with empty path");
+        if self.ent_links.len() == before {
+            return Err(AllocError::EmptyPath);
+        }
         self.ent_weight.push(weight);
         self.ent_off.push(self.ent_links.len() as u32);
+        Ok(())
     }
 
     /// Number of entities pushed since the last [`clear`](Self::clear).

@@ -203,3 +203,131 @@ proptest! {
         }
     }
 }
+
+/// Random arrival/departure/reroute/capacity-change sequences: after
+/// every epoch the incremental allocator's rates must be bit-identical
+/// to a from-scratch `weighted_max_min` over the equivalent entity list.
+mod incremental_epochs {
+    use super::*;
+    use mcf::IncrementalAllocator;
+
+    /// Mirror of the allocator's group state kept by the test: the
+    /// flattened entity list a from-scratch build would see.
+    #[derive(Clone)]
+    struct Group {
+        weight: f64,
+        subflows: Vec<Vec<usize>>,
+    }
+
+    fn flatten(groups: &[Group]) -> Vec<Entity> {
+        let mut out = Vec::new();
+        for g in groups {
+            for p in &g.subflows {
+                out.push(Entity {
+                    weight: g.weight,
+                    links: p.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    fn random_group(rng: &mut ChaCha8Rng, links: usize) -> Group {
+        let nsub = rng.gen_range(1..=4usize);
+        let subflows = (0..nsub)
+            .map(|_| {
+                let n = rng.gen_range(1..=links.min(5));
+                let mut ls: Vec<usize> = (0..links).collect();
+                for i in 0..n {
+                    let j = rng.gen_range(i..links);
+                    ls.swap(i, j);
+                }
+                ls.truncate(n);
+                ls
+            })
+            .collect();
+        Group {
+            weight: rng.gen_range(0.1..4.0),
+            subflows,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn incremental_matches_from_scratch_bitwise(
+            links in 2usize..14,
+            epochs in 2usize..24,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut caps: Vec<f64> = (0..links).map(|_| rng.gen_range(1.0..20.0)).collect();
+            let mut alloc = IncrementalAllocator::new();
+            let mut mirror: Vec<Group> = Vec::new();
+            for _ in 0..epochs {
+                // One structural edit per epoch, like the engine's
+                // arrival / departure / park / reroute / failure edges.
+                match rng.gen_range(0..6u32) {
+                    0 | 1 => {
+                        let g = random_group(&mut rng, links);
+                        alloc.push_group(g.weight, g.subflows.iter().map(|p| p.iter().copied()));
+                        mirror.push(g);
+                    }
+                    2 => {
+                        if !mirror.is_empty() {
+                            let i = rng.gen_range(0..mirror.len());
+                            alloc.swap_remove_group(i);
+                            mirror.swap_remove(i);
+                        }
+                    }
+                    3 => {
+                        if !mirror.is_empty() {
+                            let i = rng.gen_range(0..mirror.len());
+                            alloc.remove_group_ordered(i);
+                            mirror.remove(i);
+                        }
+                    }
+                    4 => {
+                        if !mirror.is_empty() {
+                            let i = rng.gen_range(0..mirror.len());
+                            let g = random_group(&mut rng, links);
+                            alloc.replace_group(
+                                i,
+                                g.weight,
+                                g.subflows.iter().map(|p| p.iter().copied()),
+                            );
+                            mirror[i] = g;
+                        }
+                    }
+                    _ => {
+                        // Capacity edge: fail (0.0) or resize one link.
+                        let l = rng.gen_range(0..links);
+                        caps[l] = if rng.gen_bool(0.3) {
+                            0.0
+                        } else {
+                            rng.gen_range(1.0..20.0)
+                        };
+                    }
+                }
+                let want = weighted_max_min(&caps, &flatten(&mirror));
+                alloc.allocate(&caps);
+                let mut wi = 0usize;
+                for gi in 0..alloc.num_groups() {
+                    let gid = alloc.group_at(gi);
+                    let mut sum = 0.0f64;
+                    for &r in alloc.group_rates(gid) {
+                        prop_assert_eq!(
+                            r.to_bits(), want[wi].to_bits(),
+                            "entity {} diverged after {} groups", wi, mirror.len()
+                        );
+                        sum += r;
+                        wi += 1;
+                    }
+                    prop_assert_eq!(sum.to_bits(), alloc.group_rate_sum(gid).to_bits());
+                }
+                prop_assert_eq!(wi, want.len());
+            }
+        }
+    }
+}
