@@ -2,15 +2,30 @@
 //!
 //! Exits non-zero if the simulation's invariant auditor reports any
 //! violation, so CI catches engine regressions under faults.
+//!
+//! With `--workers <n>` the sweep grid runs on the distributed
+//! dispatch plane (`ftd` worker processes); stdout is byte-identical
+//! to the in-process run — the dispatch summary goes to stderr only.
+//! `--chaos <seed>` arms the seeded chaos harness on top.
 
+use ft_bench::dispatch::{self, DispatchConfig};
 use ft_bench::experiments::faultsweep;
 use ft_bench::{recorder, Cli};
+use obs::NoopSink;
 
 fn main() {
-    let cli = Cli::parse("faultsweep");
+    let cli = Cli::parse_dispatch("faultsweep");
     let rec = recorder::start("faultsweep", &cli);
     let scale = cli.scale;
-    let out = faultsweep::run(scale);
+    let out = match cli.workers {
+        Some(workers) => {
+            let cfg = DispatchConfig::local(workers).with_chaos(cli.chaos);
+            let (out, summary) = dispatch::run_faultsweep(scale, &cfg, &mut NoopSink);
+            eprintln!("{summary}");
+            out
+        }
+        None => faultsweep::run(scale),
+    };
     faultsweep::print(&out);
     if scale.json {
         println!(

@@ -1,0 +1,186 @@
+//! `ftd` — the flat-tree sweep worker daemon.
+//!
+//! Speaks the length-prefixed [`ft_bench::dispatch::wire`] protocol:
+//! announces itself with a `Hello` frame, then computes one
+//! `CellResult` per leased `WorkerParams` until the driver sends
+//! `Shutdown` or closes the stream. By default the transport is the
+//! stdin/stdout pipe pair the dispatch driver wires up; with
+//! `--listen <addr>` it binds a TCP listener instead and serves
+//! connections sequentially (simulation-as-a-service: point any driver
+//! or script at the port).
+//!
+//! Exit codes: 0 clean shutdown/EOF, 2 usage error, 3 chaos-directed
+//! garbage emission, 4 unrecoverable protocol error.
+//!
+//! Cell computation is pure, so a worker's answer is bit-identical to
+//! an in-process run — worker-side panics are caught and surfaced as
+//! typed `Response::Failed` frames so the driver can requeue instead
+//! of losing the worker.
+
+use ft_bench::dispatch::chaos::garbage_bytes;
+use ft_bench::dispatch::wire::{
+    self, CellResult, ChaosDirective, Hello, Request, Response, PROTO_VERSION,
+};
+use ft_bench::experiments::faultsweep;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+fn usage() -> String {
+    "usage: ftd [--listen <addr:port>]\n\
+     \n\
+     options:\n\
+     \x20 --listen <addr:port>  serve the wire protocol on a TCP listener\n\
+     \x20                       (default: stdin/stdout pipes)\n\
+     \x20 --help                print this message"
+        .to_string()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
+    let mut listen: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) => listen = Some(addr.clone()),
+                    None => {
+                        eprintln!("ftd: --listen needs an address\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("ftd: unknown argument {other:?}\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let code = match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve(
+                &mut BufReader::new(stdin.lock()),
+                &mut BufWriter::new(stdout.lock()),
+            )
+        }
+        Some(addr) => serve_tcp(&addr),
+    };
+    std::process::exit(code);
+}
+
+/// Binds `addr` and serves connections one at a time, forever. The
+/// bound address is announced on stdout (one line, then EOF-silence)
+/// so callers binding port 0 can discover the port.
+fn serve_tcp(addr: &str) -> i32 {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ftd: cannot bind {addr}: {e}");
+            return 4;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => {
+            println!("ftd listening on {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("ftd: local_addr: {e}");
+            return 4;
+        }
+    }
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                eprintln!("ftd: serving {peer}");
+                let Ok(read_half) = stream.try_clone() else {
+                    eprintln!("ftd: cannot clone stream for {peer}");
+                    continue;
+                };
+                let code = serve(&mut BufReader::new(read_half), &mut BufWriter::new(stream));
+                // Garbage emission is terminal even in TCP mode: the
+                // chaos contract is "corrupt the stream, then die".
+                if code == 3 {
+                    return 3;
+                }
+            }
+            Err(e) => {
+                eprintln!("ftd: accept: {e}");
+                return 4;
+            }
+        }
+    }
+}
+
+/// One protocol session: handshake, then serve leases until shutdown.
+fn serve<R: Read, W: Write>(r: &mut R, w: &mut W) -> i32 {
+    let hello = Hello {
+        proto: PROTO_VERSION,
+        pid: std::process::id(),
+    };
+    if let Err(e) = wire::write_frame(w, &hello) {
+        eprintln!("ftd: handshake write: {e}");
+        return 4;
+    }
+    loop {
+        let req = match wire::read_frame::<_, Request>(r) {
+            Ok(Some(req)) => req,
+            Ok(None) => return 0, // driver closed the stream
+            Err(e) => {
+                eprintln!("ftd: request read: {e}");
+                return 4;
+            }
+        };
+        match req {
+            Request::Shutdown => return 0,
+            Request::Cell(params) => {
+                if let Some(ChaosDirective::Garbage { seed, len }) = params.chaos {
+                    // Chaos harness: corrupt the stream where a frame
+                    // should be, then die mid-conversation.
+                    let _ = w.write_all(&garbage_bytes(seed, len));
+                    let _ = w.flush();
+                    return 3;
+                }
+                let t0 = Instant::now();
+                let computed = catch_unwind(AssertUnwindSafe(|| {
+                    faultsweep::execute_cell(params.scale, &params.spec)
+                }));
+                let response = match computed {
+                    Ok(output) => Response::Cell(CellResult {
+                        req: params.req,
+                        cell: params.cell,
+                        output,
+                        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    }),
+                    Err(panic) => {
+                        let message = panic
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                            .unwrap_or_else(|| "cell panicked".to_string());
+                        Response::Failed {
+                            req: params.req,
+                            cell: params.cell,
+                            message,
+                        }
+                    }
+                };
+                if let Err(e) = wire::write_frame(w, &response) {
+                    eprintln!("ftd: response write: {e}");
+                    return 4;
+                }
+            }
+        }
+    }
+}

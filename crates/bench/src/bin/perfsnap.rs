@@ -28,6 +28,7 @@ use flowsim::{
     try_simulate_traced, try_simulate_with_provider_traced, AllocTelemetry, FaultSchedule,
     LinkFailure, MptcpProvider, SimConfig, TraceEvent, TraceSink, Transport,
 };
+use ft_bench::dispatch::{self, DispatchConfig};
 use ft_bench::experiments::{common, faultsweep};
 use ft_bench::{sweep, Scale};
 use netgraph::{Graph, LinkId};
@@ -110,6 +111,9 @@ struct Snapshot {
     events: u64,
     peak_rss_kb: u64,
     alloc: Option<AllocTelemetry>,
+    /// Dispatch-plane requeues (lost leases retried), for the
+    /// `dispatch_*` workloads only.
+    retries: Option<u64>,
 }
 
 impl Snapshot {
@@ -180,6 +184,7 @@ fn measure_sim(
         events: counter.0,
         peak_rss_kb: peak_rss_kb(),
         alloc,
+        retries: None,
     }
 }
 
@@ -199,6 +204,7 @@ fn measure_route_precompute(net: &DcNetwork) -> (Arc<SharedRouteTable>, Snapshot
         events: pairs,
         peak_rss_kb: peak_rss_kb(),
         alloc: None,
+        retries: None,
     };
     (table, snap)
 }
@@ -226,6 +232,40 @@ fn measure_faultsweep() -> Snapshot {
         events: cells.load(Ordering::Relaxed),
         peak_rss_kb: peak_rss_kb(),
         alloc: None,
+        retries: None,
+    }
+}
+
+/// The distributed-sweep workload: the same smoke grid as
+/// `faultsweep_smoke_grid` but dispatched over `workers` local `ftd`
+/// worker processes. `events` counts merged cells through the sweep
+/// observer; `retries` is the plane's requeue count. If the worker
+/// binary is missing the plane degrades to in-process execution, which
+/// the stderr line surfaces as `fallback yes`.
+fn measure_dispatch(name: &'static str, workers: usize) -> Snapshot {
+    let cells = Arc::new(AtomicU64::new(0));
+    let seen = cells.clone();
+    sweep::set_observer(Some(Arc::new(move |_, _| {
+        seen.fetch_add(1, Ordering::Relaxed);
+    })));
+    let scale = Scale {
+        smoke: true,
+        ..Scale::default()
+    };
+    let cfg = DispatchConfig::local(workers);
+    let t0 = Instant::now();
+    let (out, summary) = dispatch::run_faultsweep(scale, &cfg, &mut obs::NoopSink);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    sweep::set_observer(None);
+    std::hint::black_box(faultsweep::total_violations(&out));
+    eprintln!("perfsnap: {name}: {summary}");
+    Snapshot {
+        name,
+        wall_ms,
+        events: cells.load(Ordering::Relaxed),
+        peak_rss_kb: peak_rss_kb(),
+        alloc: None,
+        retries: Some(summary.requeues),
     }
 }
 
@@ -270,8 +310,12 @@ fn render_json(smoke: bool, snaps: &[Snapshot]) -> String {
             ),
             None => String::new(),
         };
+        let retries = match snap.retries {
+            Some(r) => format!(", \"retries\": {r}"),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_s\": {:.1}, \"peak_rss_kb\": {}{alloc}}}{comma}\n",
+            "    \"{}\": {{\"wall_ms\": {:.3}, \"events\": {}, \"events_per_s\": {:.1}, \"peak_rss_kb\": {}{retries}{alloc}}}{comma}\n",
             snap.name,
             snap.wall_ms,
             snap.events,
@@ -407,6 +451,14 @@ fn main() {
         snap.name, snap.wall_ms, snap.events, snap.peak_rss_kb
     );
     snaps.push(snap);
+    for (name, workers) in [("dispatch_w2", 2), ("dispatch_w4", 4)] {
+        let snap = measure_dispatch(name, workers);
+        eprintln!(
+            "perfsnap: {:<22} {:>9.1} ms  {:>9} cells   {:>8} kB peak",
+            snap.name, snap.wall_ms, snap.events, snap.peak_rss_kb
+        );
+        snaps.push(snap);
+    }
 
     // Surface the allocator counters through the obs metrics registry,
     // summed over the telemetry-carrying workloads.

@@ -1,0 +1,958 @@
+//! The distributed sweep plane: lease cells to `ftd` worker processes,
+//! survive their loss, merge deterministically.
+//!
+//! [`dispatch_cells`] shards a [`CellSpec`] grid across local worker
+//! processes speaking the [`wire`] protocol over stdin/stdout pipes.
+//! The driver is a single-threaded lease state machine (one reader
+//! thread per worker feeds it events):
+//!
+//! * **Lease** — each ready worker holds at most one outstanding cell;
+//!   cells are leased in grid order from a requeue-aware queue.
+//! * **Deadline** — a lease that outlives [`DispatchConfig::deadline`]
+//!   is abandoned: the cell is requeued (with the shared
+//!   [`control::retry`] backoff schedule) and the worker earns a
+//!   strike. A late result is still accepted if the cell is not done —
+//!   request ids make stale responses unambiguous.
+//! * **Death** — EOF or a wire error on a worker's pipe requeues its
+//!   in-flight cell. Decode errors are unrecoverable by construction
+//!   (a corrupt length-prefixed stream cannot be resynced), so the
+//!   reader simply stops and the worker is gone.
+//! * **Hedge** — when workers sit idle with nothing leasable queued,
+//!   the oldest in-flight cell past
+//!   [`DispatchConfig::speculate_after`] is speculatively re-leased to
+//!   an idle worker. First result wins; the loser is a counted
+//!   duplicate. This bounds the latency cost of a stalled worker by
+//!   the hedge threshold instead of the full deadline.
+//! * **Quarantine** — [`DispatchConfig::max_strikes`] strikes (or a
+//!   protocol-version mismatch) and the driver SIGKILLs the worker and
+//!   never leases to it again.
+//! * **Degradation** — a cell that exhausts its per-cell attempt
+//!   budget is executed inline by the driver; if every worker is gone,
+//!   the whole remainder runs in-process. Both are surfaced in the
+//!   [`DispatchSummary`], never a panic.
+//!
+//! **Determinism.** Results are merged by cell index into a
+//! grid-ordered vector, each cell recorded exactly once
+//! (first-result-wins; duplicates are counted and dropped). Because
+//! every cell is a pure function of `(scale, spec)` and the wire
+//! round-trips `f64` bit-exactly, the merged vector is byte-identical
+//! to the in-process sweep for **any** worker count, death schedule, or
+//! completion order — the chaos harness ([`chaos`]) and the dispatch
+//! proptests pin this.
+
+pub mod chaos;
+pub mod wire;
+
+use crate::experiments::faultsweep::{self, CellOutput, CellSpec, FaultSweep};
+use crate::scale::Scale;
+use crate::sweep::CellObserver;
+use chaos::{ChaosAction, ChaosPlan};
+use control::retry::Backoff;
+use obs::{NoopSink, TraceEvent, TraceSink};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// How the driver runs a grid.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Worker processes to spawn (>= 1).
+    pub workers: usize,
+    /// Path to the `ftd` worker binary. Resolution order when `None`:
+    /// the `FTD_WORKER` environment variable, then `ftd` next to the
+    /// current executable. A binary that cannot be spawned degrades to
+    /// in-process execution.
+    pub worker_bin: Option<PathBuf>,
+    /// Per-lease deadline; past it the cell is requeued and the worker
+    /// earns a strike.
+    pub deadline: Duration,
+    /// Hedging threshold: when workers sit idle with nothing queued, an
+    /// in-flight lease older than this is speculatively re-leased to an
+    /// idle worker (first result wins, the loser is a counted
+    /// duplicate). This bounds the latency cost of a stalled worker by
+    /// `speculate_after` instead of the full `deadline`.
+    pub speculate_after: Duration,
+    /// Strikes (timeouts / failed cells) before a worker is
+    /// quarantined.
+    pub max_strikes: u32,
+    /// The per-cell lease budget and requeue backoff, on the shared
+    /// [`control::retry`] schedule: `max_attempts` is the lease cap
+    /// (past it the driver runs the cell inline), and requeued cells
+    /// wait `wait_before(attempt)` before re-leasing.
+    pub retry: Backoff,
+    /// Chaos-harness seed; `None` runs clean.
+    pub chaos: Option<u64>,
+}
+
+impl DispatchConfig {
+    /// Local pipes, 2-minute deadlines, 2 strikes, 4 lease attempts
+    /// per cell with 25 ms base backoff capped at 1 s.
+    pub fn local(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            worker_bin: None,
+            deadline: Duration::from_secs(120),
+            speculate_after: Duration::from_secs(5),
+            max_strikes: 2,
+            retry: Backoff::new(4, 25.0, 2.0).capped(1000.0),
+            chaos: None,
+        }
+    }
+
+    /// Same config with a chaos seed (no-op on `None`). Arming chaos
+    /// also tightens the recovery clocks — 10 s deadlines, 1 s hedge
+    /// threshold — so injected stalls cost about a second instead of a
+    /// production deadline.
+    pub fn with_chaos(mut self, seed: Option<u64>) -> Self {
+        self.chaos = seed;
+        if seed.is_some() {
+            self.deadline = Duration::from_secs(10);
+            self.speculate_after = Duration::from_secs(1);
+        }
+        self
+    }
+}
+
+/// What happened on the plane: every counter the summary line, the
+/// perfsnap dispatch block, and the audit assertions read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSummary {
+    /// Workers requested.
+    pub workers: usize,
+    /// Workers actually spawned (spawn failures are non-fatal).
+    pub spawned: usize,
+    /// Cells in the grid.
+    pub cells: usize,
+    /// Leases written (>= cells when anything was requeued).
+    pub leases: u64,
+    /// Speculative hedge leases issued against aged in-flight cells.
+    pub speculations: u64,
+    /// Cells that lost a lease and were requeued.
+    pub requeues: u64,
+    /// Leases abandoned at their deadline.
+    pub timeouts: u64,
+    /// Workers that died (EOF, kill, wire corruption).
+    pub deaths: u64,
+    /// Workers the driver quarantined (strikes or version skew).
+    pub quarantines: u64,
+    /// Duplicate/stale results dropped by the merge (first wins).
+    pub duplicates: u64,
+    /// Cells executed inline after exhausting their lease budget.
+    pub degraded_cells: u64,
+    /// Whether the driver fell back to in-process execution because
+    /// every worker was gone.
+    pub fallback_inprocess: bool,
+    /// The chaos seed, if the harness was armed.
+    pub chaos_seed: Option<u64>,
+    /// Driver wall-clock (ms).
+    pub wall_ms: f64,
+}
+
+impl std::fmt::Display for DispatchSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dispatch: {} cells on {}/{} workers, {} leases ({} hedged), \
+             {} requeues ({} timeouts, {} deaths, {} quarantined), \
+             {} duplicates dropped, {} degraded, fallback {}, {:.1} ms",
+            self.cells,
+            self.spawned,
+            self.workers,
+            self.leases,
+            self.speculations,
+            self.requeues,
+            self.timeouts,
+            self.deaths,
+            self.quarantines,
+            self.duplicates,
+            self.degraded_cells,
+            if self.fallback_inprocess { "yes" } else { "no" },
+            self.wall_ms
+        )?;
+        if let Some(seed) = self.chaos_seed {
+            write!(f, " [chaos seed {seed}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The post-merge audit: every cell exactly once, nothing invented.
+/// Violations are a driver bug, so they panic rather than degrade.
+fn audit_merge(specs: &[CellSpec], results: &[Option<CellOutput>]) {
+    assert_eq!(results.len(), specs.len(), "merge must cover the grid");
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_some(), "cell {i} missing from the merge");
+    }
+}
+
+/// Events the per-worker reader threads feed the driver loop.
+enum Event {
+    Hello(usize, wire::Hello),
+    Msg(usize, wire::Response),
+    Down(usize, String),
+}
+
+enum WorkerState {
+    /// Spawned, handshake not yet seen.
+    Starting,
+    /// Ready for a lease.
+    Idle,
+    /// One outstanding lease.
+    Busy {
+        req: u64,
+        cell: usize,
+        deadline: Instant,
+    },
+    /// Dead or quarantined; never leased again.
+    Gone,
+}
+
+struct Worker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    pid: u32,
+    state: WorkerState,
+    strikes: u32,
+    /// Leases handed to this worker so far (the chaos-plan key).
+    leases: u64,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Worker {
+    fn live(&self) -> bool {
+        !matches!(self.state, WorkerState::Gone)
+    }
+}
+
+/// Resolves the worker binary path per [`DispatchConfig::worker_bin`].
+fn worker_binary(cfg: &DispatchConfig) -> PathBuf {
+    if let Some(p) = &cfg.worker_bin {
+        return p.clone();
+    }
+    if let Some(p) = std::env::var_os("FTD_WORKER") {
+        return PathBuf::from(p);
+    }
+    std::env::current_exe().map_or_else(|_| PathBuf::from("ftd"), |p| p.with_file_name("ftd"))
+}
+
+/// SIGSTOPs `pid` via the external `kill` tool (this workspace forbids
+/// `unsafe`, so no direct syscall); failures are ignored — a stall that
+/// did not land just means less chaos.
+fn sigstop(pid: u32) {
+    let _ = Command::new("kill")
+        .arg("-STOP")
+        .arg(pid.to_string())
+        .status();
+}
+
+fn spawn_worker(bin: &PathBuf, idx: usize, tx: &Sender<Event>) -> Option<Worker> {
+    let mut child = Command::new(bin)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .ok()?;
+    let stdin = child.stdin.take()?;
+    let stdout = child.stdout.take()?;
+    let pid = child.id();
+    let tx = tx.clone();
+    let reader = std::thread::spawn(move || {
+        let mut r = BufReader::new(stdout);
+        match wire::read_frame::<_, wire::Hello>(&mut r) {
+            Ok(Some(h)) => {
+                if tx.send(Event::Hello(idx, h)).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(Event::Down(idx, "eof before handshake".into()));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Event::Down(idx, format!("handshake: {e}")));
+                return;
+            }
+        }
+        loop {
+            match wire::read_frame::<_, wire::Response>(&mut r) {
+                Ok(Some(resp)) => {
+                    if tx.send(Event::Msg(idx, resp)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send(Event::Down(idx, "eof".into()));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send(Event::Down(idx, e.to_string()));
+                    return;
+                }
+            }
+        }
+    });
+    Some(Worker {
+        child,
+        stdin: Some(stdin),
+        pid,
+        state: WorkerState::Starting,
+        strikes: 0,
+        leases: 0,
+        reader: Some(reader),
+    })
+}
+
+/// [`dispatch_cells_traced`] with tracing off.
+pub fn dispatch_cells(
+    scale: Scale,
+    specs: &[CellSpec],
+    cfg: &DispatchConfig,
+) -> (Vec<CellOutput>, DispatchSummary) {
+    dispatch_cells_traced(scale, specs, cfg, &mut NoopSink)
+}
+
+/// Runs `specs` on the distributed plane and returns the grid-ordered
+/// outputs plus the run's [`DispatchSummary`]. The output vector is
+/// byte-identical (after serialization) to
+/// `sweep(specs, |_, s| execute_cell(scale, s))` no matter how many
+/// workers survive. `sink` receives the dispatch timeline
+/// (`WorkerUp`/`WorkerDown`/`Lease`/`LeaseDone`/`Requeue`/
+/// `DispatchEnd`); merged cells are also reported to the process-wide
+/// sweep observer so `--metrics` recordings and perfsnap cell counts
+/// keep working unchanged.
+pub fn dispatch_cells_traced<S: TraceSink>(
+    scale: Scale,
+    specs: &[CellSpec],
+    cfg: &DispatchConfig,
+    sink: &mut S,
+) -> (Vec<CellOutput>, DispatchSummary) {
+    let t0 = Instant::now();
+    let observer = crate::sweep::current_observer();
+    let plan = cfg.chaos.map(|seed| ChaosPlan::new(seed, cfg.workers));
+
+    let mut summary = DispatchSummary {
+        workers: cfg.workers,
+        spawned: 0,
+        cells: specs.len(),
+        leases: 0,
+        speculations: 0,
+        requeues: 0,
+        timeouts: 0,
+        deaths: 0,
+        quarantines: 0,
+        duplicates: 0,
+        degraded_cells: 0,
+        fallback_inprocess: false,
+        chaos_seed: cfg.chaos,
+        wall_ms: 0.0,
+    };
+
+    let mut results: Vec<Option<CellOutput>> = vec![None; specs.len()];
+    if specs.is_empty() {
+        summary.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        return (Vec::new(), summary);
+    }
+
+    let (tx, rx): (Sender<Event>, Receiver<Event>) = mpsc::channel();
+    let bin = worker_binary(cfg);
+    let mut workers: Vec<Worker> = (0..cfg.workers)
+        .filter_map(|i| spawn_worker(&bin, i, &tx))
+        .collect();
+    summary.spawned = workers.len();
+
+    let mut queue: VecDeque<usize> = (0..specs.len()).collect();
+    let mut queued: Vec<bool> = vec![true; specs.len()];
+    let mut attempts: Vec<u32> = vec![0; specs.len()];
+    let mut not_before: Vec<Instant> = vec![t0; specs.len()];
+    let mut in_flight: HashMap<u64, usize> = HashMap::new();
+    let mut next_req: u64 = 0;
+    let mut done = 0usize;
+
+    let run_inline = |cell: usize,
+                      results: &mut Vec<Option<CellOutput>>,
+                      done: &mut usize,
+                      observer: &Option<CellObserver>| {
+        let t = Instant::now();
+        let out = faultsweep::execute_cell(scale, &specs[cell]);
+        if let Some(obs) = observer {
+            obs(cell, t.elapsed().as_secs_f64() * 1e3);
+        }
+        results[cell] = Some(out);
+        *done += 1;
+    };
+
+    while done < specs.len() {
+        // Graceful degradation: every worker gone → finish in-process.
+        if workers.iter().all(|w| !w.live()) {
+            summary.fallback_inprocess = true;
+            for cell in 0..specs.len() {
+                if results[cell].is_none() {
+                    run_inline(cell, &mut results, &mut done, &observer);
+                }
+            }
+            break;
+        }
+
+        // Lease ready cells to idle workers, driver-executing any cell
+        // that has exhausted its lease budget.
+        let now = Instant::now();
+        let mut idle: Vec<usize> = workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| matches!(w.state, WorkerState::Idle))
+            .map(|(i, _)| i)
+            .collect();
+        while !idle.is_empty() {
+            // First queued cell that is past its backoff; with nothing
+            // leasable queued, hedge an aged in-flight cell instead.
+            let pos = queue
+                .iter()
+                .position(|&c| results[c].is_none() && not_before[c] <= now);
+            let cell = match pos {
+                Some(pos) => {
+                    let cell = queue.remove(pos).expect("position came from the queue");
+                    queued[cell] = false;
+                    if attempts[cell] >= cfg.retry.max_attempts {
+                        summary.degraded_cells += 1;
+                        run_inline(cell, &mut results, &mut done, &observer);
+                        continue;
+                    }
+                    cell
+                }
+                None => {
+                    let Some(cell) =
+                        hedge_candidate(now, &workers, &results, &queued, &attempts, cfg)
+                    else {
+                        break;
+                    };
+                    summary.speculations += 1;
+                    cell
+                }
+            };
+            let w = idle.pop().expect("loop guard");
+            let req = next_req;
+            next_req += 1;
+            let action = plan.as_ref().and_then(|p| p.action(w, workers[w].leases));
+            let directive = match action {
+                Some(ChaosAction::Garbage { seed }) => {
+                    Some(wire::ChaosDirective::Garbage { seed, len: 256 })
+                }
+                _ => None,
+            };
+            let params = wire::WorkerParams {
+                req,
+                cell,
+                scale,
+                spec: specs[cell].clone(),
+                chaos: directive,
+            };
+            let wrote = workers[w]
+                .stdin
+                .as_mut()
+                .map(|s| wire::write_frame(s, &wire::Request::Cell(params)));
+            match wrote {
+                Some(Ok(())) => {
+                    attempts[cell] += 1;
+                    workers[w].leases += 1;
+                    summary.leases += 1;
+                    in_flight.insert(req, cell);
+                    workers[w].state = WorkerState::Busy {
+                        req,
+                        cell,
+                        deadline: now + cfg.deadline,
+                    };
+                    if sink.enabled() {
+                        sink.emit(TraceEvent::Lease {
+                            worker: w,
+                            cell,
+                            req,
+                        });
+                    }
+                    // Inflict the drawn chaos while the cell is in
+                    // flight.
+                    match action {
+                        Some(ChaosAction::Kill) => {
+                            let _ = workers[w].child.kill();
+                        }
+                        Some(ChaosAction::Stall) => sigstop(workers[w].pid),
+                        _ => {}
+                    }
+                }
+                _ => {
+                    // The pipe is broken: the reader will report the
+                    // death; just requeue the cell (front: it lost no
+                    // attempt) and stop leasing to this worker.
+                    queue.push_front(cell);
+                    queued[cell] = true;
+                }
+            }
+        }
+
+        // Wait for the next event or the earliest deadline, backoff,
+        // or hedge threshold.
+        let now = Instant::now();
+        let mut wake: Option<Instant> = None;
+        let bump = |wake: &mut Option<Instant>, t: Instant| {
+            *wake = Some(wake.map_or(t, |u| u.min(t)));
+        };
+        for w in &workers {
+            if let WorkerState::Busy { deadline, .. } = w.state {
+                bump(&mut wake, deadline);
+            }
+        }
+        for &c in &queue {
+            if results[c].is_none() {
+                bump(&mut wake, not_before[c]);
+            }
+        }
+        if workers.iter().any(|w| matches!(w.state, WorkerState::Idle)) {
+            for (cell, leased_at) in youngest_leases(&workers, cfg) {
+                if results[cell].is_none()
+                    && !queued[cell]
+                    && attempts[cell] < cfg.retry.max_attempts
+                {
+                    bump(&mut wake, leased_at + cfg.speculate_after);
+                }
+            }
+        }
+        let timeout = wake.map_or(Duration::from_millis(50), |t| {
+            t.saturating_duration_since(now)
+                .max(Duration::from_millis(1))
+        });
+
+        match rx.recv_timeout(timeout) {
+            Ok(Event::Hello(w, hello)) => {
+                if !workers[w].live() {
+                    continue;
+                }
+                match wire::check_hello(&hello) {
+                    Ok(()) => {
+                        workers[w].state = WorkerState::Idle;
+                        if sink.enabled() {
+                            sink.emit(TraceEvent::WorkerUp {
+                                worker: w,
+                                pid: hello.pid,
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        quarantine(
+                            &mut workers[w],
+                            w,
+                            &e.to_string(),
+                            &mut in_flight,
+                            &mut queue,
+                            &mut queued,
+                            &results,
+                            &mut summary,
+                            sink,
+                        );
+                    }
+                }
+            }
+            Ok(Event::Msg(w, wire::Response::Cell(res))) => {
+                // Free the worker if this answers its current lease.
+                if matches!(workers[w].state, WorkerState::Busy { req, .. } if req == res.req) {
+                    workers[w].state = WorkerState::Idle;
+                }
+                match in_flight.remove(&res.req) {
+                    Some(cell) if results[cell].is_none() && cell == res.cell => {
+                        if let Some(obs) = &observer {
+                            obs(cell, res.wall_ms);
+                        }
+                        if sink.enabled() {
+                            sink.emit(TraceEvent::LeaseDone {
+                                worker: w,
+                                cell,
+                                req: res.req,
+                                wall_ms: res.wall_ms,
+                            });
+                        }
+                        results[cell] = Some(res.output);
+                        done += 1;
+                    }
+                    _ => summary.duplicates += 1,
+                }
+            }
+            Ok(Event::Msg(w, wire::Response::Failed { req, cell, message })) => {
+                if matches!(workers[w].state, WorkerState::Busy { req: r, .. } if r == req) {
+                    workers[w].state = WorkerState::Idle;
+                }
+                in_flight.remove(&req);
+                requeue(
+                    cell,
+                    &format!("worker {w} failed: {message}"),
+                    &cfg.retry,
+                    &attempts,
+                    &mut queue,
+                    &mut queued,
+                    &mut not_before,
+                    &results,
+                    &mut summary,
+                    sink,
+                );
+                strike(
+                    &mut workers[w],
+                    w,
+                    cfg,
+                    "failed cell",
+                    &mut in_flight,
+                    &mut queue,
+                    &mut queued,
+                    &results,
+                    &mut summary,
+                    sink,
+                );
+            }
+            Ok(Event::Down(w, reason)) => {
+                if !workers[w].live() {
+                    continue;
+                }
+                summary.deaths += 1;
+                if let WorkerState::Busy { req, cell, .. } = workers[w].state {
+                    in_flight.remove(&req);
+                    requeue(
+                        cell,
+                        &format!("worker {w} down: {reason}"),
+                        &cfg.retry,
+                        &attempts,
+                        &mut queue,
+                        &mut queued,
+                        &mut not_before,
+                        &results,
+                        &mut summary,
+                        sink,
+                    );
+                }
+                workers[w].state = WorkerState::Gone;
+                let _ = workers[w].child.kill();
+                if sink.enabled() {
+                    sink.emit(TraceEvent::WorkerDown { worker: w, reason });
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Expire overdue leases.
+                let now = Instant::now();
+                for (w, worker) in workers.iter_mut().enumerate() {
+                    let WorkerState::Busy {
+                        req,
+                        cell,
+                        deadline,
+                    } = worker.state
+                    else {
+                        continue;
+                    };
+                    if deadline > now {
+                        continue;
+                    }
+                    summary.timeouts += 1;
+                    // Abandon the lease but keep listening: a late
+                    // result for `req` is still usable. The deadline is
+                    // pushed so one stall doesn't fire every loop.
+                    worker.state = WorkerState::Busy {
+                        req,
+                        cell,
+                        deadline: now + cfg.deadline,
+                    };
+                    requeue(
+                        cell,
+                        &format!("lease timed out on worker {w}"),
+                        &cfg.retry,
+                        &attempts,
+                        &mut queue,
+                        &mut queued,
+                        &mut not_before,
+                        &results,
+                        &mut summary,
+                        sink,
+                    );
+                    strike(
+                        worker,
+                        w,
+                        cfg,
+                        "lease timeout",
+                        &mut in_flight,
+                        &mut queue,
+                        &mut queued,
+                        &results,
+                        &mut summary,
+                        sink,
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every reader thread is gone; the all-dead branch at
+                // the top of the loop will mop up.
+                for w in &mut workers {
+                    if w.live() {
+                        w.state = WorkerState::Gone;
+                        summary.deaths += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Wind down: polite shutdown frame, then SIGKILL (also reaps
+    // SIGSTOPped stragglers), then reap children and reader threads.
+    for w in &mut workers {
+        if let Some(stdin) = w.stdin.as_mut() {
+            let _ = wire::write_frame(stdin, &wire::Request::Shutdown);
+        }
+        w.stdin = None;
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+    }
+    drop(rx);
+    for w in &mut workers {
+        if let Some(h) = w.reader.take() {
+            let _ = h.join();
+        }
+    }
+
+    audit_merge(specs, &results);
+    summary.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if sink.enabled() {
+        sink.emit(TraceEvent::DispatchEnd {
+            cells: summary.cells,
+            leases: summary.leases,
+            speculations: summary.speculations,
+            requeues: summary.requeues,
+            timeouts: summary.timeouts,
+            deaths: summary.deaths,
+            quarantines: summary.quarantines,
+            duplicates: summary.duplicates,
+            degraded_cells: summary.degraded_cells,
+            fallback: summary.fallback_inprocess,
+            wall_ms: summary.wall_ms,
+        });
+    }
+    let merged = results
+        .into_iter()
+        .map(|r| r.expect("audited: every cell exactly once"))
+        .collect();
+    (merged, summary)
+}
+
+/// The youngest outstanding lease time per in-flight cell. Keyed on
+/// the youngest lease so a just-hedged cell is not hedged again until
+/// the hedge itself ages past the threshold.
+fn youngest_leases(workers: &[Worker], cfg: &DispatchConfig) -> HashMap<usize, Instant> {
+    let mut youngest: HashMap<usize, Instant> = HashMap::new();
+    for w in workers {
+        if let WorkerState::Busy { cell, deadline, .. } = w.state {
+            // Leases are created with `deadline = leased_at + deadline`
+            // (and timeouts push it the same way), so this recovers the
+            // (re)lease time.
+            let leased_at = deadline - cfg.deadline;
+            youngest
+                .entry(cell)
+                .and_modify(|t| *t = (*t).max(leased_at))
+                .or_insert(leased_at);
+        }
+    }
+    youngest
+}
+
+/// Picks the cell for a speculative hedge lease: in flight, not done,
+/// not queued, lease budget remaining, and every outstanding lease at
+/// least `speculate_after` old — oldest such cell first.
+fn hedge_candidate(
+    now: Instant,
+    workers: &[Worker],
+    results: &[Option<CellOutput>],
+    queued: &[bool],
+    attempts: &[u32],
+    cfg: &DispatchConfig,
+) -> Option<usize> {
+    youngest_leases(workers, cfg)
+        .into_iter()
+        .filter(|&(cell, leased_at)| {
+            results[cell].is_none()
+                && !queued[cell]
+                && attempts[cell] < cfg.retry.max_attempts
+                && now.saturating_duration_since(leased_at) >= cfg.speculate_after
+        })
+        .min_by_key(|&(cell, leased_at)| (leased_at, cell))
+        .map(|(cell, _)| cell)
+}
+
+/// Puts a cell back on the queue with its backoff, unless it is
+/// already done or already queued.
+#[allow(clippy::too_many_arguments)]
+fn requeue<S: TraceSink>(
+    cell: usize,
+    reason: &str,
+    retry: &Backoff,
+    attempts: &[u32],
+    queue: &mut VecDeque<usize>,
+    queued: &mut [bool],
+    not_before: &mut [Instant],
+    results: &[Option<CellOutput>],
+    summary: &mut DispatchSummary,
+    sink: &mut S,
+) {
+    if cell >= results.len() || results[cell].is_some() || queued[cell] {
+        return;
+    }
+    let next_attempt = attempts[cell].saturating_add(1);
+    let wait = retry.wait_before(next_attempt);
+    not_before[cell] = Instant::now() + wait;
+    queue.push_back(cell);
+    queued[cell] = true;
+    summary.requeues += 1;
+    if sink.enabled() {
+        sink.emit(TraceEvent::Requeue {
+            cell,
+            reason: reason.to_string(),
+            backoff_ms: wait.as_secs_f64() * 1e3,
+        });
+    }
+}
+
+/// Adds a strike; at the cap the worker is quarantined.
+#[allow(clippy::too_many_arguments)]
+fn strike<S: TraceSink>(
+    worker: &mut Worker,
+    idx: usize,
+    cfg: &DispatchConfig,
+    why: &str,
+    in_flight: &mut HashMap<u64, usize>,
+    queue: &mut VecDeque<usize>,
+    queued: &mut [bool],
+    results: &[Option<CellOutput>],
+    summary: &mut DispatchSummary,
+    sink: &mut S,
+) {
+    if !worker.live() {
+        return;
+    }
+    worker.strikes += 1;
+    if worker.strikes >= cfg.max_strikes {
+        quarantine(
+            worker,
+            idx,
+            &format!("{} strikes (last: {why})", worker.strikes),
+            in_flight,
+            queue,
+            queued,
+            results,
+            summary,
+            sink,
+        );
+    }
+}
+
+/// Kills and permanently retires a worker. Its in-flight lease (if
+/// any) was already requeued by the caller; the lease table entry is
+/// dropped so a buffered late response is counted as stale.
+#[allow(clippy::too_many_arguments)]
+fn quarantine<S: TraceSink>(
+    worker: &mut Worker,
+    idx: usize,
+    reason: &str,
+    in_flight: &mut HashMap<u64, usize>,
+    _queue: &mut VecDeque<usize>,
+    _queued: &mut [bool],
+    _results: &[Option<CellOutput>],
+    summary: &mut DispatchSummary,
+    sink: &mut S,
+) {
+    if !worker.live() {
+        return;
+    }
+    if let WorkerState::Busy { req, .. } = worker.state {
+        in_flight.remove(&req);
+    }
+    worker.state = WorkerState::Gone;
+    let _ = worker.child.kill();
+    summary.quarantines += 1;
+    if sink.enabled() {
+        sink.emit(TraceEvent::WorkerDown {
+            worker: idx,
+            reason: format!("quarantined: {reason}"),
+        });
+    }
+}
+
+/// Runs the full faultsweep experiment through the distributed plane:
+/// [`faultsweep::run_with`] with [`dispatch_cells_traced`] as the
+/// executor. The returned report is byte-identical (after
+/// serialization) to [`faultsweep::run`].
+pub fn run_faultsweep<S: TraceSink>(
+    scale: Scale,
+    cfg: &DispatchConfig,
+    sink: &mut S,
+) -> (FaultSweep, DispatchSummary) {
+    let mut summary = None;
+    let out = faultsweep::run_with(scale, |specs| {
+        let (outputs, s) = dispatch_cells_traced(scale, specs, cfg, sink);
+        summary = Some(s);
+        outputs
+    });
+    (
+        out,
+        summary.expect("run_with calls the executor exactly once"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_workers_to_one() {
+        assert_eq!(DispatchConfig::local(0).workers, 1);
+        assert_eq!(DispatchConfig::local(4).workers, 4);
+    }
+
+    #[test]
+    fn summary_line_is_informative() {
+        let s = DispatchSummary {
+            workers: 4,
+            spawned: 4,
+            cells: 10,
+            leases: 12,
+            speculations: 1,
+            requeues: 2,
+            timeouts: 1,
+            deaths: 1,
+            quarantines: 1,
+            duplicates: 0,
+            degraded_cells: 0,
+            fallback_inprocess: false,
+            chaos_seed: Some(7),
+            wall_ms: 1234.5,
+        };
+        let line = s.to_string();
+        for needle in [
+            "10 cells",
+            "4/4 workers",
+            "12 leases",
+            "2 requeues",
+            "1 quarantined",
+            "chaos seed 7",
+        ] {
+            assert!(line.contains(needle), "{line:?} must contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn empty_grid_short_circuits() {
+        let cfg = DispatchConfig {
+            // A binary that will never be spawned (empty grid returns
+            // before spawning).
+            worker_bin: Some(PathBuf::from("/nonexistent/ftd")),
+            ..DispatchConfig::local(2)
+        };
+        let (out, summary) = dispatch_cells(Scale::default(), &[], &cfg);
+        assert!(out.is_empty());
+        assert_eq!(summary.cells, 0);
+        assert_eq!(summary.leases, 0);
+        assert!(!summary.fallback_inprocess);
+    }
+}

@@ -102,6 +102,44 @@ pub struct FaultSweep {
     pub conversion: Vec<ConversionPoint>,
 }
 
+/// One cell of the sweep grid, as a pure, serializable work descriptor:
+/// everything a worker process needs — beyond the [`Scale`] — to
+/// recompute the cell from scratch. The conversion-under-failure rows
+/// are not cells; they are arithmetic-cheap and stay driver-side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellSpec {
+    /// Degradation grid cell: index into the mode grid (clos / local /
+    /// global / hybrid) × flap fraction.
+    Degradation {
+        /// Mode index (0 = clos, 1 = local, 2 = global, 3 = hybrid).
+        mode_idx: usize,
+        /// Fraction of switch-switch cables that flap.
+        fraction: f64,
+    },
+    /// Stuck-converter cell: global mode with `stuck` converters
+    /// latched in their Clos configuration.
+    Stuck {
+        /// How many converters are stuck.
+        stuck: usize,
+    },
+}
+
+/// The raw result of one [`CellSpec`], before driver-side
+/// normalization (FCT stretch and stuck goodput are normalized against
+/// sibling cells only after the whole grid is merged).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CellOutput {
+    /// A degradation cell; `fct_stretch` still holds the raw mean FCT.
+    Degradation(DegradationPoint),
+    /// A stuck-converter cell's raw goodput.
+    Stuck {
+        /// How many converters were stuck.
+        stuck: usize,
+        /// Mean per-flow goodput (Gbps).
+        mean_gbps: f64,
+    },
+}
+
 /// All duplex switch-switch cables (one direction per cable).
 fn cables(g: &Graph) -> Vec<LinkId> {
     g.link_ids()
@@ -193,76 +231,193 @@ fn network(scale: Scale) -> FlatTree {
     }
 }
 
-/// Runs the full sweep.
-pub fn run(scale: Scale) -> FaultSweep {
-    let ft = network(scale);
-    let fractions: &[f64] = if scale.smoke {
-        &SMOKE_FRACTIONS
-    } else {
-        &FRACTIONS
-    };
-    let modes = mode_grid(&ft);
-    let instances: Vec<(String, flat_tree::FlatTreeInstance)> = modes
-        .iter()
-        .map(|(name, a)| (name.clone(), ft.instantiate(a)))
-        .collect();
+/// Flow size (bytes) and the flap timing of the degradation grid.
+/// Flap window and flow size chosen so faults hit mid-transfer: flows
+/// need ~0.5 s+ under contention, flaps land inside (0, 0.4) s and heal
+/// within ~0.6 s.
+const BYTES: f64 = 2.5e8;
+const FLAP_WINDOW: (f64, f64) = (0.05, 0.4);
+const MEAN_DOWN_S: f64 = 0.3;
 
-    // Flap window and flow size chosen so faults hit mid-transfer:
-    // flows need ~0.5 s+ under contention, flaps land inside (0, 0.4) s
-    // and heal within ~0.6 s.
-    let bytes = 2.5e8;
-    let window = (0.05, 0.4);
-    let mean_down_s = 0.3;
-    let cfg = SimConfig {
+fn sim_config() -> SimConfig {
+    SimConfig {
         transport: Transport::Mptcp {
             k: 4,
             coupled: true,
         },
         ..SimConfig::default()
-    };
+    }
+}
 
-    // Degradation grid on the parallel driver: one cell per
-    // (mode, fraction).
-    let jobs: Vec<(usize, f64)> = (0..instances.len())
-        .flat_map(|m| fractions.iter().map(move |&f| (m, f)))
+/// The flap fractions at `scale`.
+fn fractions(scale: Scale) -> &'static [f64] {
+    if scale.smoke {
+        &SMOKE_FRACTIONS
+    } else {
+        &FRACTIONS
+    }
+}
+
+/// The full sweep grid at `scale`, in canonical (merge) order:
+/// degradation cells mode-major, then stuck-converter cells. Every cell
+/// is pure in `(scale, spec)`, so any executor — serial loop, thread
+/// pool, worker processes — must produce the identical grid as long as
+/// it returns one output per spec in this order.
+pub fn cell_grid(scale: Scale) -> Vec<CellSpec> {
+    let ft = network(scale);
+    let modes = mode_grid(&ft).len();
+    let mut grid: Vec<CellSpec> = (0..modes)
+        .flat_map(|m| {
+            fractions(scale)
+                .iter()
+                .map(move |&f| CellSpec::Degradation {
+                    mode_idx: m,
+                    fraction: f,
+                })
+        })
         .collect();
-    let cells: Vec<DegradationPoint> = sweep(&jobs, |_, &(mode_idx, fraction)| {
-        let (name, inst) = &instances[mode_idx];
-        let g = &inst.net.graph;
-        let pairs_idx = traffic::patterns::permutation(inst.net.num_servers(), scale.seed);
-        let flows = common::flow_specs(&inst.net, &pairs_idx, bytes);
-        let pairs: Vec<(NodeId, NodeId)> = pairs_idx
-            .iter()
-            .map(|&(s, d)| (inst.net.servers[s], inst.net.servers[d]))
-            .collect();
-        let mut plan = FaultPlan::new(scale.seed ^ ((mode_idx as u64) << 17));
-        plan.random_link_flaps(&cables(g), fraction, mean_down_s, window);
-        let schedule = plan.compile(g).expect("plan matches its own graph");
-        let out = flowsim::simulate_under_faults(g, &flows, &cfg, &schedule)
-            .expect("workload is valid by construction");
-        let fcts: Vec<f64> = out.result.records.iter().filter_map(|r| r.fct()).collect();
-        let mean_fct = crate::report::mean(&fcts);
-        let rates: Vec<f64> = out
-            .result
-            .records
-            .iter()
-            .filter_map(|r| r.avg_rate_gbps())
-            .collect();
-        DegradationPoint {
-            mode: name.clone(),
-            fault_fraction: fraction,
-            completed: out.result.completed_fraction(),
-            fct_stretch: mean_fct, // normalized against the 0% cell below
-            mean_gbps: crate::report::mean(&rates),
-            parked: out.audit.parked,
-            revived: out.audit.revived,
-            audit_violations: out.audit.violations(),
-            min_connected: min_connectivity(g, &schedule, &pairs),
+    // Stuck converters: global mode with 0, 1, and (full grids) a
+    // quarter of the converters latched in the Clos configuration.
+    let counts: Vec<usize> = if scale.smoke {
+        vec![0, 1]
+    } else {
+        let pods = ft.pods();
+        let global = ModeAssignment::uniform(pods, PodMode::Global);
+        let total = ft.instantiate(&global).configs.len();
+        vec![0, 1, total / 4]
+    };
+    grid.extend(counts.into_iter().map(|n| CellSpec::Stuck { stuck: n }));
+    grid
+}
+
+/// Executes one cell from scratch: rebuilds the (deterministic)
+/// network, instantiates the mode, compiles the fault plan, simulates,
+/// audits. Wherever it runs — in-process thread or `ftd` worker — the
+/// result is bit-identical, which is what makes the distributed merge
+/// byte-identical to the serial sweep.
+pub fn execute_cell(scale: Scale, spec: &CellSpec) -> CellOutput {
+    match *spec {
+        CellSpec::Degradation { mode_idx, fraction } => {
+            CellOutput::Degradation(degradation_cell(scale, mode_idx, fraction))
         }
-    });
+        CellSpec::Stuck { stuck } => {
+            let (stuck, mean_gbps) = stuck_cell(scale, stuck);
+            CellOutput::Stuck { stuck, mean_gbps }
+        }
+    }
+}
+
+/// One degradation cell. `fct_stretch` holds the raw mean FCT; the
+/// caller normalizes it against the same mode's fault-free cell once
+/// the grid is merged.
+fn degradation_cell(scale: Scale, mode_idx: usize, fraction: f64) -> DegradationPoint {
+    let ft = network(scale);
+    let modes = mode_grid(&ft);
+    let (name, assignment) = &modes[mode_idx];
+    let inst = ft.instantiate(assignment);
+    let cfg = sim_config();
+    let g = &inst.net.graph;
+    let pairs_idx = traffic::patterns::permutation(inst.net.num_servers(), scale.seed);
+    let flows = common::flow_specs(&inst.net, &pairs_idx, BYTES);
+    let pairs: Vec<(NodeId, NodeId)> = pairs_idx
+        .iter()
+        .map(|&(s, d)| (inst.net.servers[s], inst.net.servers[d]))
+        .collect();
+    let mut plan = FaultPlan::new(scale.seed ^ ((mode_idx as u64) << 17));
+    plan.random_link_flaps(&cables(g), fraction, MEAN_DOWN_S, FLAP_WINDOW);
+    let schedule = plan.compile(g).expect("plan matches its own graph");
+    let out = flowsim::simulate_under_faults(g, &flows, &cfg, &schedule)
+        .expect("workload is valid by construction");
+    let fcts: Vec<f64> = out.result.records.iter().filter_map(|r| r.fct()).collect();
+    let mean_fct = crate::report::mean(&fcts);
+    let rates: Vec<f64> = out
+        .result
+        .records
+        .iter()
+        .filter_map(|r| r.avg_rate_gbps())
+        .collect();
+    DegradationPoint {
+        mode: name.clone(),
+        fault_fraction: fraction,
+        completed: out.result.completed_fraction(),
+        fct_stretch: mean_fct, // normalized against the 0% cell later
+        mean_gbps: crate::report::mean(&rates),
+        parked: out.audit.parked,
+        revived: out.audit.revived,
+        audit_violations: out.audit.violations(),
+        min_connected: min_connectivity(g, &schedule, &pairs),
+    }
+}
+
+/// One stuck-converter cell: raw `(stuck, mean goodput)`; normalized
+/// against the 0-stuck cell once the grid is merged.
+fn stuck_cell(scale: Scale, n: usize) -> (usize, f64) {
+    let ft = network(scale);
+    let global = ModeAssignment::uniform(ft.pods(), PodMode::Global);
+    let cfg = sim_config();
+    let mut plan = FaultPlan::new(scale.seed);
+    for c in 0..n {
+        plan.stuck_converter(c, StuckConfig::Default);
+    }
+    let overrides: Vec<(usize, ConverterConfig)> = plan
+        .stuck_converters
+        .iter()
+        .map(|s| (s.converter, to_converter_config(s.config)))
+        .collect();
+    let inst = ft.instantiate_with_overrides(&global, &overrides);
+    let pairs_idx = traffic::patterns::permutation(inst.net.num_servers(), scale.seed);
+    let flows = common::flow_specs(&inst.net, &pairs_idx, BYTES);
+    let res = flowsim::try_simulate(&inst.net.graph, &flows, &cfg).expect("workload is valid");
+    let rates: Vec<f64> = res
+        .records
+        .iter()
+        .filter_map(|r| r.avg_rate_gbps())
+        .collect();
+    (n, crate::report::mean(&rates))
+}
+
+/// Runs the full sweep with the in-process parallel driver.
+pub fn run(scale: Scale) -> FaultSweep {
+    run_with(scale, |specs| {
+        sweep(specs, |_, spec| execute_cell(scale, spec))
+    })
+}
+
+/// Runs the full sweep through a caller-supplied cell executor — the
+/// in-process [`sweep`] driver ([`run`]) or the distributed dispatch
+/// plane. The executor must return one [`CellOutput`] per spec, in
+/// spec order; everything position-dependent (FCT normalization, stuck
+/// goodput normalization) happens here, after the merge, so executors
+/// only ever see independent cells.
+pub fn run_with<E>(scale: Scale, exec: E) -> FaultSweep
+where
+    E: FnOnce(&[CellSpec]) -> Vec<CellOutput>,
+{
+    let specs = cell_grid(scale);
+    let outputs = exec(&specs);
+    assert_eq!(
+        outputs.len(),
+        specs.len(),
+        "executor must return one output per cell"
+    );
+
+    let mut degradation: Vec<DegradationPoint> = Vec::new();
+    let mut stuck_raw: Vec<(usize, f64)> = Vec::new();
+    for out in outputs {
+        match out {
+            CellOutput::Degradation(p) => degradation.push(p),
+            CellOutput::Stuck { stuck, mean_gbps } => stuck_raw.push((stuck, mean_gbps)),
+        }
+    }
+
     // Normalize FCT stretch per mode against that mode's fault-free mean.
-    let mut degradation = cells;
-    for (mode_name, _) in &instances {
+    let mut mode_names: Vec<String> = Vec::new();
+    for p in &degradation {
+        if !mode_names.contains(&p.mode) {
+            mode_names.push(p.mode.clone());
+        }
+    }
+    for mode_name in &mode_names {
         let base = degradation
             .iter()
             .find(|p| &p.mode == mode_name && p.fault_fraction == 0.0)
@@ -273,42 +428,11 @@ pub fn run(scale: Scale) -> FaultSweep {
         }
     }
 
-    // Stuck converters: global mode with 0, 1, and a quarter of the
-    // converters latched in the Clos configuration.
-    let pods = ft.pods();
-    let global = ModeAssignment::uniform(pods, PodMode::Global);
-    let total_converters = ft.instantiate(&global).configs.len();
-    let stuck_counts: Vec<usize> = if scale.smoke {
-        vec![0, 1]
-    } else {
-        vec![0, 1, total_converters / 4]
-    };
-    let stuck_cells: Vec<(usize, f64)> = sweep(&stuck_counts, |_, &n| {
-        let mut plan = FaultPlan::new(scale.seed);
-        for c in 0..n {
-            plan.stuck_converter(c, StuckConfig::Default);
-        }
-        let overrides: Vec<(usize, ConverterConfig)> = plan
-            .stuck_converters
-            .iter()
-            .map(|s| (s.converter, to_converter_config(s.config)))
-            .collect();
-        let inst = ft.instantiate_with_overrides(&global, &overrides);
-        let pairs_idx = traffic::patterns::permutation(inst.net.num_servers(), scale.seed);
-        let flows = common::flow_specs(&inst.net, &pairs_idx, bytes);
-        let res = flowsim::try_simulate(&inst.net.graph, &flows, &cfg).expect("workload is valid");
-        let rates: Vec<f64> = res
-            .records
-            .iter()
-            .filter_map(|r| r.avg_rate_gbps())
-            .collect();
-        (n, crate::report::mean(&rates))
-    });
-    let clean = stuck_cells
+    let clean = stuck_raw
         .first()
         .map(|&(_, g)| g)
         .expect("stuck grid includes 0");
-    let stuck = stuck_cells
+    let stuck = stuck_raw
         .into_iter()
         .map(|(n, gbps)| StuckPoint {
             stuck: n,

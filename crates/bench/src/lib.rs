@@ -15,6 +15,7 @@
 //! measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
 
 pub mod cli;
+pub mod dispatch;
 pub mod experiments;
 pub mod recorder;
 pub mod report;

@@ -27,7 +27,10 @@ pub fn set_observer(observer: Option<CellObserver>) {
     *OBSERVER.write().expect("sweep observer lock") = observer;
 }
 
-fn current_observer() -> Option<CellObserver> {
+/// The currently installed observer, if any. Shared with the dispatch
+/// driver so distributed cells are reported exactly like in-process
+/// ones.
+pub(crate) fn current_observer() -> Option<CellObserver> {
     OBSERVER.read().expect("sweep observer lock").clone()
 }
 
@@ -36,6 +39,11 @@ fn current_observer() -> Option<CellObserver> {
 ///
 /// `job` receives `(index, &item)` and must be deterministic per cell;
 /// cells must not depend on each other. Panics in a cell propagate.
+///
+/// **Contract:** any `threads` value is safe — `0` is clamped to one
+/// worker (serial execution) rather than deadlocking or panicking, and
+/// values above `items.len()` are clamped down; the results are
+/// identical for every thread count.
 pub fn sweep_with_threads<I, T, F>(items: &[I], threads: usize, job: F) -> Vec<T>
 where
     I: Sync,
@@ -138,6 +146,17 @@ mod tests {
             let par = sweep_with_threads(&items, threads, |i, &x| x + i as u64);
             assert_eq!(par, serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        // Regression: `threads == 0` was caller-beware; the contract is
+        // now clamp-to-1, identical results, no hang.
+        let items: Vec<u64> = (0..17).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(sweep_with_threads(&items, 0, |_, &x| x * x), serial);
+        let empty: Vec<u64> = Vec::new();
+        assert!(sweep_with_threads(&empty, 0, |_, &x| x).is_empty());
     }
 
     #[test]

@@ -26,11 +26,13 @@ pub mod controller;
 pub mod conversion;
 pub mod distributed;
 pub mod resilient;
+pub mod retry;
 
 pub use controller::Controller;
 pub use conversion::{ConversionReport, DelayModel};
 pub use resilient::{
     ConversionError, ConversionOutcome, ConversionStatus, RetryPolicy, StageKind, StageTrace,
 };
+pub use retry::{Attempt, Attempts, Backoff};
 // Re-exported so traced callers need not depend on `obs` directly.
 pub use obs::{NoopSink, RingSink, TraceEvent, TraceSink};

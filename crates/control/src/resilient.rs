@@ -21,6 +21,7 @@
 //! replays the identical attempt/backoff/rollback trace every run.
 
 use crate::conversion::{ConversionReport, DelayModel};
+use crate::retry::Backoff;
 use flowsim::faults::ControlFaults;
 use obs::{NoopSink, TraceEvent, TraceSink};
 use rand::{Rng, SeedableRng};
@@ -55,6 +56,14 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// The bounded exponential-backoff schedule this policy describes
+    /// (see [`crate::retry`]): `max_attempts` tries, the first
+    /// immediate, each later one preceded by
+    /// `base_backoff_ms * backoff_factor^(n-2)` simulated milliseconds.
+    pub fn backoff(&self) -> Backoff {
+        Backoff::new(self.max_attempts, self.base_backoff_ms, self.backoff_factor)
+    }
+
     /// Validates the policy's numeric ranges.
     pub fn validate(&self) -> Result<(), ConversionError> {
         if self.max_attempts == 0 {
@@ -284,13 +293,12 @@ fn run_ocs_stage<S: TraceSink>(
         elapsed_ms: 0.0,
         ok: false,
     };
-    let mut backoff = policy.base_backoff_ms;
-    for attempt in 1..=policy.max_attempts {
+    for try_ in policy.backoff().attempts() {
+        let attempt = try_.number;
         trace.attempts = attempt;
-        if attempt > 1 {
-            trace.backoffs_ms.push(backoff);
-            trace.elapsed_ms += backoff;
-            backoff *= policy.backoff_factor;
+        if let Some(wait) = try_.wait_ms {
+            trace.backoffs_ms.push(wait);
+            trace.elapsed_ms += wait;
         }
         if rng.gen_bool(faults.ocs_timeout_prob) {
             trace.elapsed_ms += policy.stage_timeout_ms;
@@ -369,16 +377,15 @@ fn run_rule_stage<S: TraceSink>(
             ok: count == 0,
         };
         let mut remaining = count;
-        let mut backoff = policy.base_backoff_ms;
-        for attempt in 1..=policy.max_attempts {
+        for try_ in policy.backoff().attempts() {
             if remaining == 0 {
                 break;
             }
+            let attempt = try_.number;
             trace.attempts = attempt;
-            if attempt > 1 {
-                trace.backoffs_ms.push(backoff);
-                trace.elapsed_ms += backoff;
-                backoff *= policy.backoff_factor;
+            if let Some(wait) = try_.wait_ms {
+                trace.backoffs_ms.push(wait);
+                trace.elapsed_ms += wait;
             }
             if rng.gen_bool(faults.shard_crash_prob) {
                 trace.elapsed_ms += faults.shard_recover_ms;

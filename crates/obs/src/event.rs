@@ -118,6 +118,49 @@ pub enum TraceEvent {
         p99_ms: f64,
         max_ms: f64,
     },
+
+    // --- ft-bench: distributed dispatch ------------------------------
+    /// A `ftd` worker process passed the protocol handshake.
+    WorkerUp { worker: usize, pid: u32 },
+    /// A worker died or was quarantined; `reason` is free-form
+    /// ("eof", "quarantined: 2 strikes (last: lease timeout)", ...).
+    WorkerDown { worker: usize, reason: String },
+    /// A sweep cell was leased to a worker under request id `req`.
+    Lease {
+        worker: usize,
+        cell: usize,
+        req: u64,
+    },
+    /// A leased cell's result was merged (first result wins;
+    /// `wall_ms` is the worker-side cell wall-clock).
+    LeaseDone {
+        worker: usize,
+        cell: usize,
+        req: u64,
+        wall_ms: f64,
+    },
+    /// A cell lost its lease (timeout, worker death, worker-side
+    /// failure) and went back on the queue after `backoff_ms`.
+    Requeue {
+        cell: usize,
+        reason: String,
+        backoff_ms: f64,
+    },
+    /// The dispatch driver finished: the full counter block of the
+    /// run's `DispatchSummary`.
+    DispatchEnd {
+        cells: usize,
+        leases: u64,
+        speculations: u64,
+        requeues: u64,
+        timeouts: u64,
+        deaths: u64,
+        quarantines: u64,
+        duplicates: u64,
+        degraded_cells: u64,
+        fallback: bool,
+        wall_ms: f64,
+    },
 }
 
 impl TraceEvent {
@@ -141,6 +184,12 @@ impl TraceEvent {
             Self::ConvEnd { .. } => "ConvEnd",
             Self::SweepCell { .. } => "SweepCell",
             Self::SweepSummary { .. } => "SweepSummary",
+            Self::WorkerUp { .. } => "WorkerUp",
+            Self::WorkerDown { .. } => "WorkerDown",
+            Self::Lease { .. } => "Lease",
+            Self::LeaseDone { .. } => "LeaseDone",
+            Self::Requeue { .. } => "Requeue",
+            Self::DispatchEnd { .. } => "DispatchEnd",
         }
     }
 }
