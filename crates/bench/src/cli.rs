@@ -76,6 +76,7 @@ impl Cli {
             usage(bin)
         };
         if args.iter().any(|a| a == "--help" || a == "-h") {
+            // ftlint::allow(FTL-R002): --help output is the shared bin-facing CLI surface; prints once, then exits 0
             println!("{usage_text}");
             std::process::exit(0);
         }
@@ -87,6 +88,7 @@ impl Cli {
         match parsed {
             Ok(cli) => cli,
             Err(e) => {
+                // ftlint::allow(FTL-R002): usage errors are the shared bin-facing CLI surface; prints to stderr, then exits 2
                 eprintln!("{bin}: {e}\n{usage_text}");
                 std::process::exit(2);
             }

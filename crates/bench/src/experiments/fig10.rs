@@ -77,6 +77,7 @@ pub fn print(d: &Digest) {
         &["mode", "steady Gbps", "adapt s"],
         &rows,
     );
+    // ftlint::allow(FTL-R002): part of the golden stdout contract the experiment bins print
     println!(
         "\nglobal-mode core bandwidth gain over Clos: {:.1}% (paper: +27.6%)",
         d.global_gain_pct

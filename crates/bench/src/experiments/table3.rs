@@ -82,6 +82,7 @@ pub fn print(d: &Digest) {
         &["mode", "max rules"],
         &rules,
     );
+    // ftlint::allow(FTL-R002): part of the golden stdout contract the experiment bins print
     println!(
         "\n§4.2 state analysis @ topo-1: naive {:.0}/switch -> switch-level {:.0}/switch \
          (x{:.0} reduction) -> source-routed {:.0}/ingress + {} static transit rules",

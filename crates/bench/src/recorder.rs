@@ -39,6 +39,7 @@ pub fn start(bin: &str, cli: &Cli) -> Option<MetricsRecorder> {
     match MetricsRecorder::create(bin, path) {
         Ok(rec) => Some(rec),
         Err(e) => {
+            // ftlint::allow(FTL-R002): fatal metrics-file error reports to stderr on the bins' behalf, then exits 1
             eprintln!("{bin}: cannot open metrics file {}: {e}", path.display());
             std::process::exit(1);
         }
@@ -51,6 +52,7 @@ pub fn finish(rec: Option<MetricsRecorder>) {
     if let Some(rec) = rec {
         let bin = rec.bin.clone();
         if let Err(e) = rec.close() {
+            // ftlint::allow(FTL-R002): fatal metrics-file error reports to stderr on the bins' behalf, then exits 1
             eprintln!("{bin}: metrics write failed: {e}");
             std::process::exit(1);
         }
@@ -67,9 +69,11 @@ impl MetricsRecorder {
         });
         let obs = shared.clone();
         sweep::set_observer(Some(Arc::new(move |cell, wall_ms| {
+            // ftlint::allow(FTL-R001): Mutex poisoning only follows a panic in another observer call, which propagates anyway
             obs.cell_ms.lock().expect("recorder lock").push(wall_ms);
             obs.sink
                 .lock()
+                // ftlint::allow(FTL-R001): Mutex poisoning only follows a panic in another observer call, which propagates anyway
                 .expect("recorder lock")
                 .emit(TraceEvent::SweepCell { cell, wall_ms });
         })));
@@ -84,11 +88,13 @@ impl MetricsRecorder {
     pub fn close(self) -> std::io::Result<()> {
         sweep::set_observer(None);
         let wall_ms = self.t0.elapsed().as_secs_f64() * 1e3;
+        // ftlint::allow(FTL-R001): Mutex poisoning only follows a panic in another observer call, which propagates anyway
         let cell_ms = self.shared.cell_ms.lock().expect("recorder lock").clone();
         let mut h = Histogram::new();
         for &ms in &cell_ms {
             h.record(ms);
         }
+        // ftlint::allow(FTL-R001): Mutex poisoning only follows a panic in another observer call, which propagates anyway
         let mut sink = self.shared.sink.lock().expect("recorder lock");
         sink.emit(TraceEvent::SweepSummary {
             bin: self.bin.clone(),

@@ -24,6 +24,7 @@ static OBSERVER: RwLock<Option<CellObserver>> = RwLock::new(None);
 /// Installs (or, with `None`, removes) the process-wide sweep observer.
 /// The observer must be cheap and must tolerate concurrent invocation.
 pub fn set_observer(observer: Option<CellObserver>) {
+    // ftlint::allow(FTL-R001): RwLock poisoning only follows a panic under the lock, which propagates anyway
     *OBSERVER.write().expect("sweep observer lock") = observer;
 }
 
@@ -31,6 +32,7 @@ pub fn set_observer(observer: Option<CellObserver>) {
 /// driver so distributed cells are reported exactly like in-process
 /// ones.
 pub(crate) fn current_observer() -> Option<CellObserver> {
+    // ftlint::allow(FTL-R001): RwLock poisoning only follows a panic under the lock, which propagates anyway
     OBSERVER.read().expect("sweep observer lock").clone()
 }
 
@@ -87,11 +89,13 @@ where
                         break;
                     }
                     let out = job(i, &items[i]);
+                    // ftlint::allow(FTL-R001): Mutex poisoning only follows a worker panic, which join() then propagates
                     collected.lock().expect("sweep collector").push((i, out));
                 })
             })
             .collect();
         for h in handles {
+            // ftlint::allow(FTL-R001): a worker panic must propagate to the caller; there is no partial sweep result
             h.join().expect("sweep worker panicked");
         }
     })

@@ -30,17 +30,11 @@ impl PerSwitchChurn {
             .iter()
             .map(|&(d, a)| (d + a) as f64 * per_rule_ms)
             .collect();
-        jobs.sort_by(|a, b| {
-            b.partial_cmp(a)
-                .expect("rule-update latencies are finite by construction")
-        });
+        jobs.sort_by(|a, b| b.total_cmp(a));
         for j in jobs {
             let min = loads
                 .iter_mut()
-                .min_by(|a, b| {
-                    a.partial_cmp(b)
-                        .expect("shard loads are finite by construction")
-                })
+                .min_by(|a, b| a.total_cmp(b))
                 .expect("controllers >= 1");
             *min += j;
         }

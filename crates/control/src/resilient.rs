@@ -247,6 +247,12 @@ pub struct ConversionWork {
 
 /// Deterministic greedy LPT partition of per-switch jobs over `shards`
 /// shards; ties broken by switch order, then lowest shard index.
+/// Exposed for the `ftcheck` fault battery (`FT-F003`), which verifies
+/// the partition is an exact in-range permutation of the switch set.
+pub fn shard_partition(per_switch: &[(usize, usize)], shards: usize) -> Vec<Vec<usize>> {
+    partition_shards(per_switch, shards)
+}
+
 fn partition_shards(per_switch: &[(usize, usize)], shards: usize) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = (0..per_switch.len()).collect();
     order.sort_by(|&a, &b| {

@@ -138,7 +138,14 @@ impl Iterator for Attempts {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = (self.max.saturating_sub(self.next) + 1) as usize;
+        // `next` may already be past `max` (exhausted, or a
+        // zero-attempt schedule): subtracting before adding the +1
+        // would report one phantom attempt.
+        let left = if self.next > self.max {
+            0
+        } else {
+            (self.max - self.next) as usize + 1
+        };
         (left, Some(left))
     }
 }
@@ -216,6 +223,64 @@ mod tests {
             .expect("one attempt");
         assert_eq!(first.number, 1);
         assert_eq!(first.wait_ms, None);
+    }
+
+    #[test]
+    fn zero_attempt_schedules_are_empty() {
+        let b = Backoff::new(0, 10.0, 2.0);
+        let mut it = b.attempts();
+        assert_eq!(it.size_hint(), (0, Some(0)));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.size_hint(), (0, Some(0)));
+        assert_eq!(b.attempts().count(), 0);
+        // wait_before_* stay well-defined even though no attempt runs.
+        assert_eq!(b.wait_before_ms(1), 0.0);
+        assert_eq!(b.wait_before(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn size_hint_tracks_the_iterator_exactly() {
+        for max in [0u32, 1, 2, 5] {
+            let mut it = Backoff::new(max, 10.0, 2.0).attempts();
+            let mut left = max as usize;
+            loop {
+                assert_eq!(it.size_hint(), (left, Some(left)), "max={max}");
+                if it.next().is_none() {
+                    break;
+                }
+                left -= 1;
+            }
+            // Exhausted iterators keep reporting empty.
+            assert_eq!(it.size_hint(), (0, Some(0)), "max={max}");
+            assert_eq!(it.next(), None);
+        }
+    }
+
+    #[test]
+    fn multiplier_overflow_saturates_to_infinity_not_panic() {
+        // f64::MAX * 10 overflows to +inf; the schedule must keep
+        // yielding (inf waits), the cap must still clamp, and the
+        // Duration view must collapse inf to zero rather than panic.
+        let b = Backoff::new(5, f64::MAX, 10.0);
+        let waits: Vec<f64> = b.attempts().filter_map(|a| a.wait_ms).collect();
+        assert_eq!(waits.len(), 4);
+        assert_eq!(waits[0], f64::MAX);
+        assert!(waits[1..].iter().all(|w| w.is_infinite()));
+        for attempt in 2..=5 {
+            assert_eq!(
+                b.wait_before_ms(attempt).to_bits(),
+                waits[attempt as usize - 2].to_bits(),
+                "attempts() and wait_before_ms must agree at attempt {attempt}"
+            );
+        }
+        assert_eq!(b.wait_before(3), Duration::ZERO, "inf collapses to zero");
+
+        let capped: Vec<f64> = b
+            .capped(500.0)
+            .attempts()
+            .filter_map(|a| a.wait_ms)
+            .collect();
+        assert!(capped.iter().all(|&w| w == 500.0), "{capped:?}");
     }
 
     #[test]

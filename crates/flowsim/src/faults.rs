@@ -340,8 +340,7 @@ impl FaultPlan {
         // Total deterministic order: time, then down-before-up, then link.
         events.sort_by(|a, b| {
             a.time
-                .partial_cmp(&b.time)
-                .expect("times validated finite")
+                .total_cmp(&b.time)
                 .then(a.up.cmp(&b.up))
                 .then(a.link.idx().cmp(&b.link.idx()))
         });

@@ -42,19 +42,9 @@ pub fn simulate_reference(g: &Graph, flows: &[FlowSpec], cfg: &SimConfig) -> Sim
         })
         .collect();
     let mut order: Vec<usize> = (0..flows.len()).collect();
-    order.sort_by(|&a, &b| {
-        flows[a]
-            .start
-            .partial_cmp(&flows[b].start)
-            .expect("flow start times must be finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| flows[a].start.total_cmp(&flows[b].start).then(a.cmp(&b)));
     let mut failures = cfg.link_failures.clone();
-    failures.sort_by(|a, b| {
-        a.time
-            .partial_cmp(&b.time)
-            .expect("failure times must be finite")
-    });
+    failures.sort_by(|a, b| a.time.total_cmp(&b.time));
     let mut failed: std::collections::HashSet<usize> = std::collections::HashSet::new();
 
     let mut next_arrival = 0usize;

@@ -525,19 +525,9 @@ fn run_engine<P: PathProvider + ?Sized, S: TraceSink>(
         })
         .collect();
     let mut order: Vec<usize> = (0..flows.len()).collect();
-    order.sort_by(|&a, &b| {
-        flows[a]
-            .start
-            .partial_cmp(&flows[b].start)
-            .expect("start times validated finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| flows[a].start.total_cmp(&flows[b].start).then(a.cmp(&b)));
     let mut failures = cfg.link_failures.clone();
-    failures.sort_by(|a, b| {
-        a.time
-            .partial_cmp(&b.time)
-            .expect("failure times validated finite")
-    });
+    failures.sort_by(|a, b| a.time.total_cmp(&b.time));
     let mut failed = FailedLinks::new(g.link_count());
 
     let mut next_arrival = 0usize;

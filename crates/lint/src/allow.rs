@@ -1,0 +1,160 @@
+//! The scoped suppression mechanism.
+//!
+//! A violation that is justified stays in the code but must say why,
+//! on the line directly above it:
+//!
+//! ```text
+//! // ftlint::allow(FTL-D001): folded into a commutative sum; order cannot escape
+//! for (_, v) in &totals { acc += v; }
+//! ```
+//!
+//! The directive suppresses findings of exactly that rule on the next
+//! line that carries code (so directives stack, and a directive above a
+//! long expression lands on its first line). Hygiene is enforced by two
+//! rules that are themselves findings and cannot be suppressed:
+//! `FTL-S001` — an allow with no justification text; `FTL-S002` — an
+//! allow naming a rule code that is not in the catalog.
+
+use crate::diag::{LintFinding, LintRule};
+use crate::lexer::Lexed;
+
+/// One parsed `ftlint::allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the directive comment is on.
+    pub line: u32,
+    /// Line the suppression applies to (first token-bearing line after
+    /// the directive).
+    pub target: Option<u32>,
+    /// The rule named, if the code is in the catalog.
+    pub rule: Option<LintRule>,
+    /// The code string as written.
+    pub code: String,
+    /// Justification text after the colon, trimmed.
+    pub justification: String,
+}
+
+const DIRECTIVE: &str = "ftlint::allow(";
+
+/// Extracts every directive from a lexed file's line comments.
+pub fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(DIRECTIVE) else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            // `ftlint::allow(FTL-D001` with no closing paren: treat the
+            // whole remainder as the (unknown) code so it surfaces as
+            // FTL-S002 instead of being silently ignored.
+            out.push(Allow {
+                line: c.line,
+                target: lexed.next_token_line(c.line + 1),
+                rule: None,
+                code: rest.trim().to_string(),
+                justification: String::new(),
+            });
+            continue;
+        };
+        let code = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+        out.push(Allow {
+            line: c.line,
+            target: lexed.next_token_line(c.line + 1),
+            rule: LintRule::from_code(&code),
+            code,
+            justification,
+        });
+    }
+    out
+}
+
+/// Applies the directives to `findings`: drops suppressed findings and
+/// appends the hygiene findings (`FTL-S001`/`FTL-S002`) for malformed
+/// directives. `file` is the repo-relative path used in diagnostics.
+pub fn apply_allows(
+    file: &str,
+    allows: &[Allow],
+    mut findings: Vec<LintFinding>,
+) -> Vec<LintFinding> {
+    findings.retain(|f| {
+        !f.rule.suppressible()
+            || !allows.iter().any(|a| {
+                a.rule == Some(f.rule) && a.target == Some(f.line) && !a.justification.is_empty()
+            })
+    });
+    for a in allows {
+        if a.rule.is_none() {
+            findings.push(LintFinding::new(
+                LintRule::AllowUnknownRule,
+                file,
+                a.line,
+                format!("ftlint::allow names unknown rule `{}`", a.code),
+            ));
+        } else if a.justification.is_empty() {
+            findings.push(LintFinding::new(
+                LintRule::AllowNoJustification,
+                file,
+                a.line,
+                format!("ftlint::allow({}) has no justification text", a.code),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn directive_parses_code_and_justification() {
+        let l =
+            lex("// ftlint::allow(FTL-D003): seeded upstream, this draw is replayed\nlet x = 1;");
+        let allows = parse_allows(&l);
+        assert_eq!(allows.len(), 1);
+        let a = &allows[0];
+        assert_eq!(a.rule, Some(LintRule::EntropyRng));
+        assert_eq!(a.target, Some(2));
+        assert_eq!(a.justification, "seeded upstream, this draw is replayed");
+    }
+
+    #[test]
+    fn directives_stack_over_comment_lines() {
+        let l =
+            lex("// ftlint::allow(FTL-D001): sorted downstream\n// a plain comment\nlet x = 1;");
+        let allows = parse_allows(&l);
+        assert_eq!(allows[0].target, Some(3), "lands on the first code line");
+    }
+
+    #[test]
+    fn unjustified_and_unknown_allows_become_findings() {
+        let l = lex("// ftlint::allow(FTL-D001)\n// ftlint::allow(FTL-Z999): because\nlet x = 1;");
+        let allows = parse_allows(&l);
+        let got = apply_allows("crates/x/src/lib.rs", &allows, Vec::new());
+        let codes: Vec<&str> = got.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"FTL-S001"), "{codes:?}");
+        assert!(codes.contains(&"FTL-S002"), "{codes:?}");
+    }
+
+    #[test]
+    fn suppression_requires_matching_rule_line_and_justification() {
+        let finding = |line| LintFinding::new(LintRule::EntropyRng, "f.rs", line, "thread_rng");
+        let l = lex(
+            "// ftlint::allow(FTL-D003): replayed\nlet a = thread_rng();\nlet b = thread_rng();",
+        );
+        let allows = parse_allows(&l);
+        let got = apply_allows("f.rs", &allows, vec![finding(2), finding(3)]);
+        assert_eq!(got.len(), 1, "only the annotated line is suppressed");
+        assert_eq!(got[0].line, 3);
+
+        // Wrong rule code: nothing suppressed, and the directive is fine.
+        let l2 = lex("// ftlint::allow(FTL-D002): wrong rule\nlet a = thread_rng();");
+        let got2 = apply_allows("f.rs", &parse_allows(&l2), vec![finding(2)]);
+        assert_eq!(got2.len(), 1);
+        assert_eq!(got2[0].rule, LintRule::EntropyRng);
+    }
+}

@@ -1,0 +1,66 @@
+//! `ftlint` — source-level determinism & robustness lint over the
+//! workspace. See EXPERIMENTS.md.
+//!
+//! Exits 1 if any rule fires (unjustified suppressions included), so CI
+//! catches hash-iteration, wall-clock, RNG, float-ordering, and panic
+//! regressions before they surface as broken goldens.
+
+use ftlint::{render, workspace_files, LintReport};
+use std::path::PathBuf;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ftlint [--root <dir>] [--json]");
+    std::process::exit(2)
+}
+
+/// Strict parser, same contract as `ft_bench::Cli`: unknown flags exit
+/// 2 with usage.
+fn parse_args() -> Args {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    Args { root, json }
+}
+
+fn main() {
+    let args = parse_args();
+    let files = match workspace_files(&args.root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("ftlint: cannot walk {}: {e}", args.root.display());
+            std::process::exit(2);
+        }
+    };
+    let report = LintReport::run(&files);
+    print!("{}", render(&report));
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    }
+    if !report.findings.is_empty() {
+        eprintln!("ftlint: {} findings", report.findings.len());
+        std::process::exit(1);
+    }
+}

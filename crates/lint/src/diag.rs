@@ -1,0 +1,229 @@
+//! Structured, deterministic diagnostics for the `ftlint` rule catalog.
+//!
+//! Mirrors `verify::diag` (the `ftcheck` battery): every rule has a
+//! stable code, a fixed severity, and a fix hint; findings sort by
+//! `(file, line, rule, detail)` so reports are byte-identical across
+//! runs regardless of scan order.
+
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is. The whole launch catalog is `Error` — the CI
+/// gate is strict from day one — but the channel keeps room for
+/// advisory rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Advisory: suspicious but not provably wrong.
+    Warning,
+    /// Violates a determinism or robustness contract of the workspace.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The rule catalog. Codes are append-only: never renumber a shipped
+/// rule. Two launch families — determinism (`FTL-Dxxx`) and robustness
+/// (`FTL-Rxxx`) — plus the suppression-hygiene rules (`FTL-Sxxx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum LintRule {
+    /// Iteration over `HashMap`/`HashSet` contents escapes the
+    /// statement without an intervening sort or collect-to-ordered.
+    HashIterEscape,
+    /// `Instant::now`/`SystemTime::now` wall-clock read in an engine
+    /// crate.
+    WallClock,
+    /// Entropy-seeded RNG (`thread_rng`, `from_entropy`, `OsRng`)
+    /// outside tests.
+    EntropyRng,
+    /// Float ordering via `partial_cmp(..).unwrap()`/`.expect()`
+    /// instead of `total_cmp`.
+    PartialCmpUnwrap,
+    /// `unwrap()`/`expect()` in library code on a fallible
+    /// I/O/parse/lock path.
+    UnwrapOnFallible,
+    /// `println!`/`eprintln!` in a library crate (output belongs to
+    /// bins and `report`).
+    PrintlnInLib,
+    /// Truncating `as` cast on index/len arithmetic in an allocator or
+    /// wire-protocol hot path.
+    TruncatingCast,
+    /// An `ftlint::allow` with no justification text.
+    AllowNoJustification,
+    /// An `ftlint::allow` naming an unknown rule code.
+    AllowUnknownRule,
+}
+
+/// Every rule, in catalog order.
+pub const ALL_RULES: [LintRule; 9] = [
+    LintRule::HashIterEscape,
+    LintRule::WallClock,
+    LintRule::EntropyRng,
+    LintRule::PartialCmpUnwrap,
+    LintRule::UnwrapOnFallible,
+    LintRule::PrintlnInLib,
+    LintRule::TruncatingCast,
+    LintRule::AllowNoJustification,
+    LintRule::AllowUnknownRule,
+];
+
+impl LintRule {
+    /// The stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintRule::HashIterEscape => "FTL-D001",
+            LintRule::WallClock => "FTL-D002",
+            LintRule::EntropyRng => "FTL-D003",
+            LintRule::PartialCmpUnwrap => "FTL-D004",
+            LintRule::UnwrapOnFallible => "FTL-R001",
+            LintRule::PrintlnInLib => "FTL-R002",
+            LintRule::TruncatingCast => "FTL-R003",
+            LintRule::AllowNoJustification => "FTL-S001",
+            LintRule::AllowUnknownRule => "FTL-S002",
+        }
+    }
+
+    /// Parses a stable code back to its rule.
+    pub fn from_code(code: &str) -> Option<Self> {
+        ALL_RULES.into_iter().find(|r| r.code() == code)
+    }
+
+    /// Fixed severity of the rule.
+    pub fn severity(self) -> Severity {
+        Severity::Error
+    }
+
+    /// Whether an `ftlint::allow` directive may suppress this rule.
+    /// Suppression hygiene itself cannot be suppressed.
+    pub fn suppressible(self) -> bool {
+        !matches!(
+            self,
+            LintRule::AllowNoJustification | LintRule::AllowUnknownRule
+        )
+    }
+
+    /// A short remediation pointer.
+    pub fn fix_hint(self) -> &'static str {
+        match self {
+            LintRule::HashIterEscape => "sort before escaping (collect + sort, or collect into a BTreeMap/BTreeSet), or consume order-insensitively (sum/count/min/max/contains)",
+            LintRule::WallClock => "engine output must be a pure function of inputs and seed; take times as parameters or move the measurement to the bench/bin layer",
+            LintRule::EntropyRng => "seed explicitly: ChaCha8Rng::seed_from_u64(seed) derived from the experiment seed",
+            LintRule::PartialCmpUnwrap => "use f64::total_cmp (NaN-total, asserts nothing); the sorted_fcts and report::sorted NaN panics were exactly this bug",
+            LintRule::UnwrapOnFallible => "return a typed error (SimError/WireError/FaultError style) or handle the failure; library code must not panic on fallible I/O, parse, or lock paths",
+            LintRule::PrintlnInLib => "route output through the bin layer or the report module; library crates must stay silent on stdout/stderr",
+            LintRule::TruncatingCast => "use u32::try_from(x).expect(\"fits\") (or propagate a typed error) so an overflow is a loud panic, not a silent wrap",
+            LintRule::AllowNoJustification => "write the reason after the colon: // ftlint::allow(FTL-XNNN): <why this site is sound>",
+            LintRule::AllowUnknownRule => "name a rule from the catalog (FTL-D001..D004, FTL-R001..R003); check for typos",
+        }
+    }
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One diagnostic: rule, severity, `file:line`, what, and how to fix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LintFinding {
+    /// Which rule fired.
+    pub rule: LintRule,
+    /// Stable code string (`FTL-D001`), duplicated for JSON consumers.
+    pub code: &'static str,
+    /// Severity of the rule.
+    pub severity: Severity,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong.
+    pub detail: String,
+    /// How to fix it.
+    pub fix: &'static str,
+}
+
+impl LintFinding {
+    /// Builds a finding for `rule` at `file:line`.
+    pub fn new(
+        rule: LintRule,
+        file: impl Into<String>,
+        line: u32,
+        detail: impl Into<String>,
+    ) -> Self {
+        LintFinding {
+            rule,
+            code: rule.code(),
+            severity: rule.severity(),
+            file: file.into(),
+            line,
+            detail: detail.into(),
+            fix: rule.fix_hint(),
+        }
+    }
+
+    fn sort_key(&self) -> (&str, u32, LintRule, &str) {
+        (&self.file, self.line, self.rule, &self.detail)
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}:{}: {} [fix: {}]",
+            self.code, self.severity, self.file, self.line, self.detail, self.fix
+        )
+    }
+}
+
+/// Sorts findings into the canonical `(file, line, rule)` report order
+/// and drops duplicates, making output independent of scan order.
+pub fn canonicalize(mut findings: Vec<LintFinding>) -> Vec<LintFinding> {
+    findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_stable_and_hinted() {
+        let mut codes: Vec<&str> = ALL_RULES.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), ALL_RULES.len(), "duplicate rule code");
+        for r in ALL_RULES {
+            assert!(r.code().starts_with("FTL-"));
+            assert!(!r.fix_hint().is_empty());
+            assert_eq!(LintRule::from_code(r.code()), Some(r));
+        }
+        assert_eq!(LintRule::from_code("FTL-D999"), None);
+    }
+
+    #[test]
+    fn canonical_order_is_input_independent() {
+        let a = LintFinding::new(LintRule::WallClock, "crates/a/src/lib.rs", 9, "x");
+        let b = LintFinding::new(LintRule::EntropyRng, "crates/a/src/lib.rs", 3, "y");
+        let fwd = canonicalize(vec![a.clone(), b.clone()]);
+        let rev = canonicalize(vec![b, a.clone(), a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 2);
+        assert_eq!(fwd[0].line, 3, "line sorts before rule");
+    }
+
+    #[test]
+    fn display_is_file_line_addressable() {
+        let f = LintFinding::new(LintRule::PartialCmpUnwrap, "crates/x/src/a.rs", 12, "bad");
+        let s = f.to_string();
+        assert!(s.contains("FTL-D004") && s.contains("crates/x/src/a.rs:12") && s.contains("fix:"));
+    }
+}

@@ -1,0 +1,500 @@
+//! A purpose-built lightweight Rust lexer.
+//!
+//! `ftlint` needs far less than a full parser: identifiers, punctuation,
+//! and line numbers, with comments and string/char literals correctly
+//! skipped so rule patterns never fire inside them. The lexer handles
+//! the constructs that trip naive scanners — nested block comments, raw
+//! strings with `#` fences, byte strings, lifetimes vs. char literals —
+//! and records every line comment verbatim so the suppression scanner
+//! ([`crate::allow`]) can find `ftlint::allow(...)` directives.
+//!
+//! The token stream is intentionally lossy (numeric literal values and
+//! string contents are discarded); rules only match identifier/punct
+//! shapes, which keeps every rule check a linear scan.
+
+/// What a token is. `PathSep` is `::` glued into one token so rules can
+/// distinguish `name: HashMap` (type ascription) from `HashMap::new`
+/// (path) without counting colons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `for`, `HashMap`, ...).
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    /// Any single punctuation character (`.`, `(`, `{`, `;`, ...).
+    Punct(char),
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// A string literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (value discarded).
+    Num,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line number.
+    pub line: u32,
+    /// The token.
+    pub kind: TokKind,
+}
+
+/// One `//` line comment (doc comments included), with `//` stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based line number.
+    pub line: u32,
+    /// Comment text after the leading slashes, untrimmed.
+    pub text: String,
+}
+
+/// The lexed file: tokens plus captured line comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+impl Lexed {
+    /// The first line at or after `line` that carries a token — where a
+    /// suppression directive written above code actually lands.
+    pub fn next_token_line(&self, line: u32) -> Option<u32> {
+        self.toks.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+/// Lexes `src`. Never panics: unterminated literals or comments simply
+/// consume the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Nested block comments; contents (and their directives,
+                // if any) are discarded — only line comments carry
+                // ftlint::allow.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(&b, i + 1, &mut line);
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let tok_line = line;
+                let next = b.get(i + 1).copied();
+                let is_lifetime = matches!(next, Some(n) if n == '_' || n.is_alphabetic())
+                    && b.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Lifetime,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&'\\') {
+                        j += 2; // escape + escaped char
+                                // \u{...} and \x.. escapes: scan to the quote.
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < b.len() {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'\'') {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Char,
+                    });
+                    i = j;
+                }
+            }
+            ':' if b.get(i + 1) == Some(&':') => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::PathSep,
+                });
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.'
+                        && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(j - 1).is_some_and(|p| p.is_ascii_digit())
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Num,
+                });
+                i = j;
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let tok_line = line;
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                let ident: String = b[i..j].iter().collect();
+                // Raw/byte string prefixes: `r"..."`, `r#"..."#`,
+                // `b"..."`, `br#"..."#` — and raw identifiers `r#name`.
+                if matches!(ident.as_str(), "r" | "b" | "br" | "rb") {
+                    let mut k = j;
+                    let mut fences = 0usize;
+                    while b.get(k) == Some(&'#') {
+                        fences += 1;
+                        k += 1;
+                    }
+                    if b.get(k) == Some(&'"') {
+                        i = skip_raw_string(&b, k + 1, fences, &mut line);
+                        out.toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Str,
+                        });
+                        continue;
+                    }
+                    if ident == "b" && b.get(j) == Some(&'\'') {
+                        // Byte literal b'x': skip past the closing quote.
+                        let mut k = j + 1;
+                        if b.get(k) == Some(&'\\') {
+                            k += 1;
+                        }
+                        while k < b.len() && b[k] != '\'' {
+                            k += 1;
+                        }
+                        out.toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Char,
+                        });
+                        i = k + 1;
+                        continue;
+                    }
+                    if ident == "r" && fences == 1 && b.get(k).is_some_and(is_ident_start) {
+                        // Raw identifier r#name: emit `name`.
+                        let mut m = k + 1;
+                        while m < b.len() && (b[m] == '_' || b[m].is_alphanumeric()) {
+                            m += 1;
+                        }
+                        out.toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Ident(b[k..m].iter().collect()),
+                        });
+                        i = m;
+                        continue;
+                    }
+                }
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Ident(ident),
+                });
+                i = j;
+            }
+            other => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(other),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: &char) -> bool {
+    *c == '_' || c.is_alphabetic()
+}
+
+/// Skips a regular string body starting just after the opening quote;
+/// returns the index after the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                // A line-continuation (`\` at end of line) escapes the
+                // newline itself; it still advances the line counter.
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string body (no escapes) until `"` followed by `fences`
+/// `#` characters; returns the index after the fence.
+fn skip_raw_string(b: &[char], mut i: usize, fences: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' && (1..=fences).all(|k| b.get(i + k) == Some(&'#')) {
+            return i + 1 + fences;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Token-index ranges covered by test-only items: any item whose
+/// attributes mention `test` (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]`, `#[tokio::test]`-style paths). Rules skip
+/// findings whose token falls inside one of these ranges — test code is
+/// exempt from every FTL rule by design.
+pub fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind != TokKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        // One attribute: `#[...]` (balanced brackets; the opener sits
+        // at `i + 1`, so the scan starts at `i + 2`).
+        let Some(attr_end) = match_close(toks, i + 2, '[', ']') else {
+            i += 1;
+            continue;
+        };
+        let mentions_test = toks[i + 1..attr_end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("test".to_string()));
+        if !mentions_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the item itself:
+        // through its balanced `{...}` body, or to the terminating `;`.
+        let mut j = attr_end + 1;
+        while j < toks.len() && toks[j].kind == TokKind::Punct('#') {
+            match match_close(toks, j + 2, '[', ']') {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        let mut depth_paren = 0i32;
+        let mut end = j;
+        while end < toks.len() {
+            match toks[end].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => depth_paren += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => depth_paren -= 1,
+                TokKind::Punct('{') if depth_paren == 0 => {
+                    end = match_close(toks, end + 1, '{', '}').unwrap_or(toks.len());
+                    break;
+                }
+                TokKind::Punct(';') if depth_paren == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        ranges.push((i, end.min(toks.len())));
+        i = end.min(toks.len()) + 1;
+    }
+    ranges
+}
+
+/// Finds the index of the closer matching the opener expected at
+/// `start - 1`; scans from `start` with nesting.
+fn match_close(toks: &[Tok], start: usize, open: char, close: char) -> Option<usize> {
+    if start == 0 || toks.get(start - 1).map(|t| &t.kind) != Some(&TokKind::Punct(open)) {
+        return None;
+    }
+    let mut depth = 1i32;
+    let mut i = start;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(c) if c == open => depth += 1,
+            TokKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "partial_cmp in a string"; // partial_cmp in a comment
+            /* block partial_cmp */ let b = r#"raw partial_cmp"#;
+            let c = 'x'; let d = b'\n'; let e: &'static str = "s";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"partial_cmp".to_string()), "{ids:?}");
+        // `'static` lexes as one Lifetime token, not an Ident.
+        let toks = lex(src).toks;
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime), "{toks:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").toks;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let toks = lex("HashMap::new(); x: u32").toks;
+        assert!(toks.iter().any(|t| t.kind == TokKind::PathSep));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Punct(':')));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"s\ntr\"\nb // c\nd";
+        let l = lex(src);
+        let b = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("b".into()))
+            .expect("b token is present in the fixture");
+        assert_eq!(b.line, 4);
+        let d = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("d".into()))
+            .expect("d token is present in the fixture");
+        assert_eq!(d.line, 5);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 4);
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        // `"a\` + newline + `b"` spans two lines; the next statement
+        // must land on line 3.
+        let src = "let s = \"a\\\nb\";\nlet t = 1;";
+        let l = lex(src);
+        let t = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("t".into()))
+            .expect("t token is present in the fixture");
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn cfg_test_items_are_ranged() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { bad(); } }\nfn live2() {}";
+        let l = lex(src);
+        let ranges = test_ranges(&l.toks);
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        let inside: Vec<_> = l.toks[s..=e]
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(inside.contains(&"bad"));
+        assert!(!inside.contains(&"live2"));
+    }
+
+    #[test]
+    fn test_attribute_functions_are_ranged() {
+        let src = "#[test]\nfn t() { x(); }\nfn live() {}";
+        let l = lex(src);
+        let ranges = test_ranges(&l.toks);
+        assert_eq!(ranges.len(), 1);
+        let live_idx = l
+            .toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("live".into()))
+            .expect("live token is present in the fixture");
+        assert!(live_idx > ranges[0].1);
+    }
+}

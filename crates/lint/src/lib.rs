@@ -1,0 +1,105 @@
+//! # ftlint — source-level determinism & robustness lint
+//!
+//! Every plane in this workspace — the parallel sweep, shared route
+//! tables, incremental allocation, the distributed `ftd` dispatch —
+//! stakes its correctness on one contract: *byte-identical output for
+//! any thread count, worker count, or failure schedule*. Golden files
+//! and proptests enforce that contract after the fact, on the workloads
+//! they happen to cover; `ftlint` enforces the discipline at the source
+//! level, the way `ftcheck` (the `verify` crate) checks generated
+//! artifacts.
+//!
+//! The tool parses every non-test `.rs` file under `crates/*/src` with
+//! a purpose-built lightweight lexer ([`lexer`]) — no `syn`, no
+//! `rustc` — and runs the FTL rule catalog ([`rules`]): the
+//! determinism family (`FTL-D001` hash-iteration escape, `FTL-D002`
+//! wall-clock in engine crates, `FTL-D003` entropy-seeded RNG,
+//! `FTL-D004` `partial_cmp().unwrap()` float ordering) and the
+//! robustness family (`FTL-R001` library unwraps on fallible paths,
+//! `FTL-R002` library printing, `FTL-R003` truncating index/len
+//! casts). Diagnostics are `ftcheck`-style — rule code, severity,
+//! `file:line`, fix hint, text + JSON — sorted by `(file, line, rule)`
+//! and byte-identical across runs.
+//!
+//! Justified exceptions stay in the code via the scoped suppression
+//! directive ([`allow`]):
+//!
+//! ```text
+//! // ftlint::allow(FTL-R001): poisoning only follows a worker panic, which propagates anyway
+//! ```
+//!
+//! An allow with no justification (or an unknown code) is itself a
+//! finding (`FTL-S001`/`FTL-S002`), so the suppression ledger stays
+//! honest. The `ftlint` binary exits 1 on any finding; CI runs it
+//! workspace-wide, strict from day one.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use diag::{canonicalize, LintFinding, LintRule, Severity, ALL_RULES};
+pub use source::{FileCtx, FileInput, FileKind, ENGINE_CRATES};
+pub use walk::workspace_files;
+
+use serde::Serialize;
+
+/// Lints one file: lex, classify, run the catalog, apply suppressions.
+pub fn analyze_file(input: &FileInput) -> Vec<LintFinding> {
+    let ctx = FileCtx::new(input);
+    let findings = rules::check_file(&ctx);
+    let allows = allow::parse_allows(&ctx.lexed);
+    allow::apply_allows(&ctx.path, &allows, findings)
+}
+
+/// Lints a set of files and canonicalizes the combined findings. The
+/// result is independent of input order.
+pub fn analyze_files(files: &[FileInput]) -> Vec<LintFinding> {
+    let mut all = Vec::new();
+    for f in files {
+        all.extend(analyze_file(f));
+    }
+    canonicalize(all)
+}
+
+/// The whole run's result, as serialized by `--json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files: usize,
+    /// Rule codes in the catalog, in order.
+    pub rules: Vec<&'static str>,
+    /// Canonicalized findings; empty means the workspace is lint-clean.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// Runs the catalog over `files`.
+    pub fn run(files: &[FileInput]) -> Self {
+        LintReport {
+            files: files.len(),
+            rules: ALL_RULES.iter().map(|r| r.code()).collect(),
+            findings: analyze_files(files),
+        }
+    }
+}
+
+/// Renders the deterministic text report (`ftcheck` shape).
+pub fn render(report: &LintReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ftlint: files={} rules={} findings={}",
+        report.files,
+        report.rules.len(),
+        report.findings.len()
+    );
+    for f in &report.findings {
+        let _ = writeln!(out, "  {f}");
+    }
+    let _ = writeln!(out, "total findings: {}", report.findings.len());
+    out
+}

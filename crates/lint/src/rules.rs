@@ -1,0 +1,534 @@
+//! The FTL rule catalog: determinism (`FTL-Dxxx`) and robustness
+//! (`FTL-Rxxx`) checks over the lexed token stream.
+//!
+//! Every check is a linear scan with small fixed-size look-arounds, so
+//! a whole-workspace run is milliseconds and — critically — the
+//! findings are a pure function of the source bytes: byte-identical
+//! across runs, machines, and scan orders.
+//!
+//! These are lint heuristics, not proofs: they are tuned to catch the
+//! bug classes this repo has actually shipped (golden-breaking hash
+//! iteration, `partial_cmp().unwrap()` NaN panics) with few enough
+//! false positives that every remaining hit is either fixed or carries
+//! a justified `ftlint::allow`. The catalog:
+//!
+//! * **FTL-D001** — iteration over `HashMap`/`HashSet` contents that
+//!   escapes its statement without an ordering sink (a `sort*`, a
+//!   collect into a `BTreeMap`/`BTreeSet`/hash rebuild, or an
+//!   order-insensitive reduction like `sum`/`count`/`min`/`max`). The
+//!   window is the statement plus its successor, so the idiomatic
+//!   `let mut v: Vec<_> = m.iter().collect(); v.sort();` passes.
+//! * **FTL-D002** — `Instant::now`/`SystemTime::now` in engine crates
+//!   ([`crate::source::ENGINE_CRATES`]): engine output must be a pure
+//!   function of inputs and seed.
+//! * **FTL-D003** — entropy-seeded RNG (`thread_rng`, `from_entropy`,
+//!   `OsRng`) anywhere outside tests.
+//! * **FTL-D004** — `partial_cmp(..).unwrap()`/`.expect()` float
+//!   ordering instead of `total_cmp`.
+//! * **FTL-R001** — `unwrap()`/`expect()` in library code on a fallible
+//!   I/O/parse/lock path (bins and tests exempt).
+//! * **FTL-R002** — `println!`/`eprintln!` in library crates (bins and
+//!   the `report` module exempt).
+//! * **FTL-R003** — truncating `as` casts on index/len arithmetic in
+//!   the allocator (`mcf`) and wire-protocol (`bench::dispatch`) hot
+//!   paths.
+
+use crate::diag::{LintFinding, LintRule};
+use crate::lexer::TokKind;
+use crate::source::{FileCtx, FileKind};
+use std::collections::BTreeSet;
+
+/// Iterator-producing methods on hash containers whose order is
+/// nondeterministic.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Idents that make an escaping hash iteration order-safe: explicit
+/// sorts, ordered collection targets, and order-insensitive
+/// reductions/queries.
+const ORDER_SINKS: [&str; 26] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "is_empty",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "contains",
+    "contains_key",
+    "fold_commutative", // reserved spelling for annotated commutative folds
+];
+
+/// Tokens that mark a statement as touching a fallible I/O, parse, or
+/// lock path (the `FTL-R001` trigger set).
+const FALLIBLE: [&str; 40] = [
+    "File",
+    "OpenOptions",
+    "open",
+    "create",
+    "create_new",
+    "read_to_string",
+    "read_to_end",
+    "read_line",
+    "read_exact",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "parse",
+    "from_str",
+    "from_slice",
+    "from_reader",
+    "from_utf8",
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "recv",
+    "recv_timeout",
+    "try_recv",
+    "send",
+    "join",
+    "var",
+    "current_dir",
+    "canonicalize",
+    "metadata",
+    "read_dir",
+    "TcpListener",
+    "TcpStream",
+    "UdpSocket",
+    "accept",
+    "connect",
+    "bind",
+    "spawn",
+    "wait",
+    "kill",
+];
+
+/// `serde_json::<fn>` calls that return `Result` (serialization can
+/// fail on non-string map keys and unrepresentable floats).
+const SERDE_FALLIBLE: [&str; 5] = [
+    "to_string",
+    "to_string_pretty",
+    "to_vec",
+    "to_writer",
+    "from_value",
+];
+
+/// Runs every rule over one file.
+pub fn check_file(ctx: &FileCtx) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    hash_iter_escape(ctx, &mut out);
+    wall_clock(ctx, &mut out);
+    entropy_rng(ctx, &mut out);
+    partial_cmp_unwrap(ctx, &mut out);
+    unwrap_on_fallible(ctx, &mut out);
+    println_in_lib(ctx, &mut out);
+    truncating_cast(ctx, &mut out);
+    out
+}
+
+fn ident_at(ctx: &FileCtx, i: usize) -> Option<&str> {
+    match ctx.lexed.toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(ctx: &FileCtx, i: usize, c: char) -> bool {
+    ctx.lexed.toks.get(i).map(|t| &t.kind) == Some(&TokKind::Punct(c))
+}
+
+fn window_has_sink(ctx: &FileCtx, i: usize) -> bool {
+    let window = ctx.window(i);
+    let mut has_collect = false;
+    let mut has_hash_target = false;
+    for t in &window {
+        if let TokKind::Ident(id) = &t.kind {
+            if ORDER_SINKS.contains(&id.as_str()) {
+                return true;
+            }
+            if id == "collect" {
+                has_collect = true;
+            }
+            if id == "HashMap" || id == "HashSet" {
+                has_hash_target = true;
+            }
+        }
+    }
+    // A hash-to-hash rebuild (`let m2: HashMap<..> = m.iter()..collect()`)
+    // is order-insensitive: the destination re-hashes.
+    has_collect && has_hash_target
+}
+
+/// FTL-D001: names bound to `HashMap`/`HashSet` values in this file.
+fn hash_names(ctx: &FileCtx) -> BTreeSet<String> {
+    let toks = &ctx.lexed.toks;
+    let mut names = BTreeSet::new();
+    // `let` bindings whose statement mentions a hash type or ctor.
+    // Test regions are skipped: a test-local `let m = HashSet::...`
+    // must not taint a live binding that shares its name.
+    for r in 0..ctx.run_count() {
+        let run = ctx.run(r);
+        let (run_start, _) = ctx.run_bounds(r);
+        if ctx.in_test(run_start) {
+            continue;
+        }
+        let mentions_hash = run
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(i) if i == "HashMap" || i == "HashSet"));
+        if !mentions_hash {
+            continue;
+        }
+        let Some(let_pos) = run
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("let".to_string()))
+        else {
+            continue;
+        };
+        for t in &run[let_pos + 1..] {
+            match &t.kind {
+                TokKind::Ident(id) if id == "mut" || id == "ref" => {}
+                TokKind::Ident(id) => {
+                    names.insert(id.clone());
+                    // Keep scanning only through a destructuring pattern.
+                }
+                TokKind::Punct('(') | TokKind::Punct(',') => {}
+                _ => break, // `:` or `=` ends the pattern
+            }
+        }
+    }
+    // `name: HashMap<..>` type ascriptions: struct fields, fn params.
+    for i in 0..toks.len() {
+        let TokKind::Ident(id) = &toks[i].kind else {
+            continue;
+        };
+        if id != "HashMap" && id != "HashSet" || ctx.in_test(i) {
+            continue;
+        }
+        let mut j = i;
+        let mut steps = 0;
+        while j > 0 && steps < 8 {
+            j -= 1;
+            steps += 1;
+            match &toks[j].kind {
+                TokKind::PathSep
+                | TokKind::Lifetime
+                | TokKind::Punct('<')
+                | TokKind::Punct('&') => {}
+                TokKind::Ident(_) => {}
+                TokKind::Punct(':') => {
+                    if let Some(TokKind::Ident(name)) = j.checked_sub(1).map(|p| &toks[p].kind) {
+                        names.insert(name.clone());
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    names
+}
+
+/// FTL-D001 — hash iteration escaping without an ordering sink.
+fn hash_iter_escape(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    let names = hash_names(ctx);
+    if names.is_empty() {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    let mut hits: Vec<(u32, String)> = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = ident_at(ctx, i) else {
+            continue;
+        };
+        if !names.contains(name) || ctx.in_test(i) {
+            continue;
+        }
+        // Method form: `name.iter()`, `name.keys()`, ...
+        let method_hit = punct_at(ctx, i + 1, '.')
+            && ident_at(ctx, i + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+            && punct_at(ctx, i + 3, '(');
+        // For-loop form: `for pat in [&mut ][self.]name {` — the name is
+        // the loop iterable itself (function-call wrappers excluded:
+        // their output order is the callee's contract, not the map's).
+        let for_hit = !method_hit && is_direct_for_iterable(ctx, i);
+        if (method_hit || for_hit) && !window_has_sink(ctx, i) {
+            hits.push((
+                tok.line,
+                format!("iteration over hash-ordered contents of `{name}` escapes without an ordering sink"),
+            ));
+        }
+    }
+    hits.dedup();
+    for (line, detail) in hits {
+        out.push(LintFinding::new(
+            LintRule::HashIterEscape,
+            &ctx.path,
+            line,
+            detail,
+        ));
+    }
+}
+
+/// Whether token `i` (a hash-bound name) is the direct iterable of a
+/// `for` statement: every token between `in` and the name is `&`,
+/// `mut`, `self`, or `.`.
+fn is_direct_for_iterable(ctx: &FileCtx, i: usize) -> bool {
+    let Some(r) = ctx.run_index(i) else {
+        return false;
+    };
+    let (start, end) = ctx.run_bounds(r);
+    let run = ctx.run(r);
+    if run.first().map(|t| &t.kind) != Some(&TokKind::Ident("for".to_string())) {
+        return false;
+    }
+    let Some(in_off) = run
+        .iter()
+        .position(|t| t.kind == TokKind::Ident("in".to_string()))
+    else {
+        return false;
+    };
+    let in_abs = start + in_off;
+    if i <= in_abs {
+        return false;
+    }
+    // Clean prefix between `in` and the name.
+    let prefix_ok = (in_abs + 1..i).all(|k| {
+        matches!(
+            ctx.lexed.toks[k].kind,
+            TokKind::Punct('&') | TokKind::Punct('.')
+        ) || matches!(&ctx.lexed.toks[k].kind, TokKind::Ident(id) if id == "mut" || id == "self")
+    });
+    // And nothing but field access may follow before the loop body.
+    let suffix_ok = (i + 1..end).all(|k| {
+        matches!(ctx.lexed.toks[k].kind, TokKind::Punct('.'))
+            || matches!(&ctx.lexed.toks[k].kind, TokKind::Ident(_))
+    });
+    prefix_ok && suffix_ok
+}
+
+/// FTL-D002 — wall-clock reads in engine crates.
+fn wall_clock(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    if !ctx.is_engine() {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for i in 0..toks.len() {
+        let Some(id) = ident_at(ctx, i) else { continue };
+        if (id == "Instant" || id == "SystemTime")
+            && toks.get(i + 1).map(|t| &t.kind) == Some(&TokKind::PathSep)
+            && ident_at(ctx, i + 2) == Some("now")
+            && !ctx.in_test(i)
+        {
+            out.push(LintFinding::new(
+                LintRule::WallClock,
+                &ctx.path,
+                toks[i].line,
+                format!("`{id}::now()` in engine crate `{}`", ctx.crate_name),
+            ));
+        }
+    }
+}
+
+/// FTL-D003 — entropy-seeded RNG outside tests.
+fn entropy_rng(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    for (i, t) in ctx.lexed.toks.iter().enumerate() {
+        let TokKind::Ident(id) = &t.kind else {
+            continue;
+        };
+        if matches!(id.as_str(), "thread_rng" | "from_entropy" | "OsRng") && !ctx.in_test(i) {
+            out.push(LintFinding::new(
+                LintRule::EntropyRng,
+                &ctx.path,
+                t.line,
+                format!("entropy-seeded RNG via `{id}`"),
+            ));
+        }
+    }
+}
+
+/// FTL-D004 — `partial_cmp` chained into `unwrap`/`expect`.
+fn partial_cmp_unwrap(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    let toks = &ctx.lexed.toks;
+    for i in 0..toks.len() {
+        if ident_at(ctx, i) != Some("partial_cmp") || ctx.in_test(i) {
+            continue;
+        }
+        let Some(r) = ctx.run_index(i) else { continue };
+        let (_, end) = ctx.run_bounds(r);
+        // The comparator-closure form (`sort_by(|a, b| a.partial_cmp(b)
+        // .unwrap())`) chains forward too, so one forward scan covers
+        // both spellings.
+        let chained = (i + 1..end).any(
+            |k| matches!(&toks[k].kind, TokKind::Ident(id) if id == "unwrap" || id == "expect"),
+        );
+        if chained {
+            out.push(LintFinding::new(
+                LintRule::PartialCmpUnwrap,
+                &ctx.path,
+                toks[i].line,
+                "float ordering via `partial_cmp(..).unwrap()`-style chain".to_string(),
+            ));
+        }
+    }
+}
+
+/// FTL-R001 — library `unwrap`/`expect` on a fallible path.
+fn unwrap_on_fallible(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    if ctx.kind == FileKind::Bin {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for i in 0..toks.len() {
+        let Some(id) = ident_at(ctx, i) else { continue };
+        if (id != "unwrap" && id != "expect") || !punct_at(ctx, i.wrapping_sub(1), '.') {
+            continue;
+        }
+        if ctx.in_test(i) {
+            continue;
+        }
+        let Some(r) = ctx.run_index(i) else { continue };
+        let (start, _) = ctx.run_bounds(r);
+        let mut cause: Option<String> = None;
+        for k in start..i {
+            match &toks[k].kind {
+                TokKind::Ident(f) if FALLIBLE.contains(&f.as_str()) => {
+                    cause = Some(f.clone());
+                    break;
+                }
+                TokKind::Ident(f)
+                    if f == "serde_json"
+                        && toks.get(k + 1).map(|t| &t.kind) == Some(&TokKind::PathSep)
+                        && ident_at(ctx, k + 2).is_some_and(|m| SERDE_FALLIBLE.contains(&m)) =>
+                {
+                    cause = Some(format!(
+                        "serde_json::{}",
+                        ident_at(ctx, k + 2).unwrap_or_default()
+                    ));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(cause) = cause {
+            out.push(LintFinding::new(
+                LintRule::UnwrapOnFallible,
+                &ctx.path,
+                toks[i].line,
+                format!("`.{id}()` on a fallible path (`{cause}`) in library code"),
+            ));
+        }
+    }
+}
+
+/// FTL-R002 — stdout/stderr printing from library code.
+fn println_in_lib(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    if ctx.kind == FileKind::Bin || ctx.stem() == "report" {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(id) = ident_at(ctx, i) else { continue };
+        if matches!(id, "println" | "eprintln" | "print" | "eprint")
+            && punct_at(ctx, i + 1, '!')
+            && !ctx.in_test(i)
+        {
+            out.push(LintFinding::new(
+                LintRule::PrintlnInLib,
+                &ctx.path,
+                tok.line,
+                format!("`{id}!` in library crate `{}`", ctx.crate_name),
+            ));
+        }
+    }
+}
+
+/// Narrow integer targets a cast can silently truncate into.
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Idents in a cast operand that mark it as index/len arithmetic.
+const LENGTHY: [&str; 4] = ["len", "count", "capacity", "position"];
+
+/// FTL-R003 — truncating casts on index/len arithmetic in allocator and
+/// wire-protocol hot paths.
+fn truncating_cast(ctx: &FileCtx, out: &mut Vec<LintFinding>) {
+    let in_scope = ctx.crate_name == "mcf" || ctx.path.contains("/bench/src/dispatch/");
+    if !in_scope {
+        return;
+    }
+    let toks = &ctx.lexed.toks;
+    for i in 0..toks.len() {
+        if ident_at(ctx, i) != Some("as") || ctx.in_test(i) {
+            continue;
+        }
+        let Some(target) = ident_at(ctx, i + 1) else {
+            continue;
+        };
+        if !NARROW.contains(&target) {
+            continue;
+        }
+        // Walk the cast operand backwards: a parenthesized expression or
+        // a field/index chain. Flag if it involves length arithmetic.
+        let mut lengthy = false;
+        let mut j = i;
+        let mut depth = 0i32;
+        let mut steps = 0;
+        while j > 0 && steps < 48 {
+            j -= 1;
+            steps += 1;
+            match &toks[j].kind {
+                TokKind::Punct(')') | TokKind::Punct(']') => depth += 1,
+                TokKind::Punct('(') | TokKind::Punct('[') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(id) => {
+                    if LENGTHY.contains(&id.as_str()) {
+                        lengthy = true;
+                    }
+                    if depth == 0 && !punct_at(ctx, j.wrapping_sub(1), '.') {
+                        break; // start of a plain field chain
+                    }
+                }
+                TokKind::Punct('.') | TokKind::Num => {}
+                _ if depth > 0 => {}
+                _ => break,
+            }
+        }
+        if lengthy {
+            out.push(LintFinding::new(
+                LintRule::TruncatingCast,
+                &ctx.path,
+                toks[i].line,
+                format!("length/index arithmetic truncated by `as {target}`"),
+            ));
+        }
+    }
+}

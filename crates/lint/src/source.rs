@@ -1,0 +1,235 @@
+//! Source-file model: classification and statement segmentation.
+//!
+//! Rules need three facts about a file before they can fire: *which
+//! crate* it belongs to (the wall-clock rule only covers engine
+//! crates), *what kind* of file it is (bins are exempt from the
+//! robustness rules), and *where statements begin and end* (sink
+//! windows for the hash-iteration rule span the statement and its
+//! successor). All of it is derived from the path and the token
+//! stream — no filesystem access, so tests can feed virtual files.
+
+use crate::lexer::{lex, test_ranges, Lexed, Tok, TokKind};
+
+/// One file to lint: a repo-relative path and its contents. The path is
+/// the diagnostic location *and* the classification key, so fixtures
+/// pick their crate/kind by naming (`crates/flowsim/src/x.rs`).
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Repo-relative path; `\` is normalized to `/`.
+    pub path: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// What kind of compilation unit the file feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Lib,
+    /// A binary (`src/bin/*` or `src/main.rs`): exempt from the
+    /// robustness family (unwraps, printing), covered by determinism.
+    Bin,
+}
+
+/// Engine crates: their outputs are golden-pinned, so wall-clock reads
+/// (`FTL-D002`) are forbidden anywhere inside them. The bench/verify
+/// layers legitimately measure wall time and are excluded.
+pub const ENGINE_CRATES: [&str; 7] = [
+    "flowsim", "mcf", "routing", "netgraph", "topology", "control", "traffic",
+];
+
+/// A lexed, classified, segmented file ready for rule checks.
+pub struct FileCtx {
+    /// Normalized repo-relative path.
+    pub path: String,
+    /// Crate directory name under `crates/` (empty if the path does not
+    /// match the workspace layout).
+    pub crate_name: String,
+    /// Lib or bin.
+    pub kind: FileKind,
+    /// The token stream and comments.
+    pub lexed: Lexed,
+    /// Token-index ranges of test-only items.
+    tests: Vec<(usize, usize)>,
+    /// Statement runs: half-open token-index ranges split at `;`, `{`,
+    /// `}` (the boundary tokens belong to no run).
+    runs: Vec<(usize, usize)>,
+}
+
+impl FileCtx {
+    /// Lexes and classifies one input.
+    pub fn new(input: &FileInput) -> Self {
+        let path = input.path.replace('\\', "/");
+        let crate_name = path
+            .split_once("crates/")
+            .map(|(_, rest)| rest.split('/').next().unwrap_or("").to_string())
+            .unwrap_or_default();
+        let kind = if path.contains("/src/bin/") || path.ends_with("/src/main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        let lexed = lex(&input.text);
+        let tests = test_ranges(&lexed.toks);
+        let runs = segment_runs(&lexed.toks);
+        FileCtx {
+            path,
+            crate_name,
+            kind,
+            lexed,
+            tests,
+            runs,
+        }
+    }
+
+    /// Whether the file belongs to an engine crate.
+    pub fn is_engine(&self) -> bool {
+        ENGINE_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// The file stem (`report` for `crates/bench/src/report.rs`).
+    pub fn stem(&self) -> &str {
+        self.path
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or("")
+    }
+
+    /// Whether token `i` sits inside a test-only item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.tests.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+
+    /// Index (into the run list) of the statement run containing token
+    /// `i`, if any (boundary tokens belong to none).
+    pub fn run_index(&self, i: usize) -> Option<usize> {
+        self.runs
+            .partition_point(|&(s, _)| s <= i)
+            .checked_sub(1)
+            .filter(|&r| {
+                let (s, e) = self.runs[r];
+                i >= s && i < e
+            })
+    }
+
+    /// Tokens of run `r`.
+    pub fn run(&self, r: usize) -> &[Tok] {
+        let (s, e) = self.runs[r];
+        &self.lexed.toks[s..e]
+    }
+
+    /// Token bounds of run `r`.
+    pub fn run_bounds(&self, r: usize) -> (usize, usize) {
+        self.runs[r]
+    }
+
+    /// Number of statement runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The sink window for token `i`: its statement run plus the
+    /// following run (where a `collect`-then-`sort` idiom lives).
+    pub fn window(&self, i: usize) -> Vec<&Tok> {
+        let mut out = Vec::new();
+        if let Some(r) = self.run_index(i) {
+            out.extend(self.run(r));
+            if r + 1 < self.runs.len() {
+                out.extend(self.run(r + 1));
+            }
+        }
+        out
+    }
+}
+
+/// Splits the token stream into statement runs at `;`, `{`, `}`
+/// (any nesting depth — a run is a maximal boundary-free stretch, which
+/// is exactly the window granularity the rules want).
+fn segment_runs(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if matches!(
+            t.kind,
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}')
+        ) {
+            if i > start {
+                runs.push((start, i));
+            }
+            start = i + 1;
+        }
+    }
+    if toks.len() > start {
+        runs.push((start, toks.len()));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, text: &str) -> FileCtx {
+        FileCtx::new(&FileInput {
+            path: path.to_string(),
+            text: text.to_string(),
+        })
+    }
+
+    #[test]
+    fn classification_from_path() {
+        let c = ctx("crates/mcf/src/incremental.rs", "");
+        assert_eq!(c.crate_name, "mcf");
+        assert_eq!(c.kind, FileKind::Lib);
+        assert!(c.is_engine());
+
+        let b = ctx("crates/bench/src/bin/perfsnap.rs", "");
+        assert_eq!(b.crate_name, "bench");
+        assert_eq!(b.kind, FileKind::Bin);
+        assert!(!b.is_engine());
+
+        assert_eq!(ctx("crates/bench/src/report.rs", "").stem(), "report");
+    }
+
+    #[test]
+    fn runs_split_at_statement_boundaries() {
+        let c = ctx("crates/x/src/lib.rs", "let a = 1; let b = 2; { inner() }");
+        // `let a = 1` / `let b = 2` / `inner ( )` — empty stretches
+        // between adjacent boundaries produce no run.
+        assert_eq!(c.run_count(), 3);
+        let first: Vec<_> = c
+            .run(0)
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(first, vec!["let", "a"]);
+    }
+
+    #[test]
+    fn window_spans_statement_and_successor() {
+        let c = ctx(
+            "crates/x/src/lib.rs",
+            "let v = m.iter().collect(); v.sort(); other();",
+        );
+        let iter_idx = c
+            .lexed
+            .toks
+            .iter()
+            .position(|t| t.kind == TokKind::Ident("iter".into()))
+            .expect("iter token is present in the fixture");
+        let names: Vec<_> = c
+            .window(iter_idx)
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"sort"), "{names:?}");
+        assert!(!names.contains(&"other"), "{names:?}");
+    }
+}

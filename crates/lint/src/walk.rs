@@ -1,0 +1,90 @@
+//! Deterministic workspace discovery.
+//!
+//! Collects every non-test `.rs` file under `crates/*/src` — crate-root
+//! `tests/`, `benches/`, and `examples/` directories are siblings of
+//! `src/` and never entered, and `#[cfg(test)]` regions inside `src`
+//! files are excluded later, token-wise, by the rules. Traversal order
+//! is sorted at every level so the file list (and therefore the report)
+//! is byte-identical on any filesystem.
+
+use crate::source::FileInput;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects the lintable files of the workspace rooted at `root`
+/// (the directory containing `crates/`), repo-relative, sorted.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<FileInput>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut out = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        collect_rs(root, &src, &mut out)?;
+    }
+    // Directory-inline recursion is *almost* path order (`foo.rs` vs a
+    // sibling `foo/` directory disagree), so pin the contract with a
+    // final sort.
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<FileInput>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(root, &p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(FileInput {
+                path: rel,
+                text: fs::read_to_string(&p)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_sorted_and_src_only() {
+        // The crate's own tests run with CWD = crates/lint.
+        let root = Path::new("../..");
+        let files = workspace_files(root).expect("workspace layout");
+        assert!(files.len() > 50, "found {} files", files.len());
+        let paths: Vec<&str> = files.iter().map(|f| f.path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        assert_eq!(paths, sorted, "traversal is sorted");
+        assert!(paths.iter().all(|p| p.starts_with("crates/")));
+        assert!(paths.iter().all(|p| p.contains("/src/")), "src only");
+        assert!(
+            !paths
+                .iter()
+                .any(|p| p.contains("/tests/") || p.contains("/benches/")),
+            "no test/bench dirs"
+        );
+        assert!(paths.contains(&"crates/lint/src/walk.rs"), "self-scan");
+    }
+}

@@ -1,0 +1,292 @@
+//! Rule-injection self-tests: every rule in the catalog is proven live
+//! by a fixture that injects exactly one violation and asserts the
+//! exact code fires at the expected line — the same negative-testing
+//! discipline as `ftcheck`'s corruption battery. The clean fixtures
+//! pin the false-positive budget: the idioms the workspace actually
+//! uses (collect-then-sort, hash rebuilds, bins that print, test
+//! modules) must not fire.
+
+use ftlint::{analyze_file, analyze_files, render, FileInput, LintReport, ALL_RULES};
+
+fn input(path: &str, text: &str) -> FileInput {
+    FileInput {
+        path: path.to_string(),
+        text: text.to_string(),
+    }
+}
+
+fn codes(path: &str, text: &str) -> Vec<(&'static str, u32)> {
+    analyze_file(&input(path, text))
+        .into_iter()
+        .map(|f| (f.code, f.line))
+        .collect()
+}
+
+/// One injection per rule: (rule code, fixture path, fixture source,
+/// line the finding must land on).
+fn injections() -> Vec<(&'static str, &'static str, &'static str, u32)> {
+    vec![
+        (
+            "FTL-D001",
+            "crates/routing/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+             let out: Vec<u32> = m.keys().copied().collect();\n\
+             out\n\
+             }\n",
+            3,
+        ),
+        (
+            "FTL-D002",
+            "crates/flowsim/src/timing.rs",
+            "pub fn stamp() -> std::time::Instant {\n\
+             std::time::Instant::now()\n\
+             }\n",
+            2,
+        ),
+        (
+            "FTL-D003",
+            "crates/traffic/src/gen.rs",
+            "pub fn draw() -> u64 {\n\
+             let mut rng = rand::thread_rng();\n\
+             rng.gen()\n\
+             }\n",
+            2,
+        ),
+        (
+            "FTL-D004",
+            "crates/mcf/src/order.rs",
+            "pub fn sorted(v: &mut Vec<f64>) {\n\
+             v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             }\n",
+            2,
+        ),
+        (
+            "FTL-R001",
+            "crates/obs/src/load.rs",
+            "pub fn load(p: &str) -> String {\n\
+             std::fs::read_to_string(p).unwrap()\n\
+             }\n",
+            2,
+        ),
+        (
+            "FTL-R002",
+            "crates/netgraph/src/debug.rs",
+            "pub fn show(n: usize) {\n\
+             println!(\"nodes: {n}\");\n\
+             }\n",
+            2,
+        ),
+        (
+            "FTL-R003",
+            "crates/mcf/src/pack.rs",
+            "pub fn head(xs: &[u64]) -> u32 {\n\
+             xs.len() as u32\n\
+             }\n",
+            2,
+        ),
+        (
+            "FTL-S001",
+            "crates/control/src/plan.rs",
+            "// ftlint::allow(FTL-D003)\n\
+             pub fn noop() {}\n",
+            1,
+        ),
+        (
+            "FTL-S002",
+            "crates/control/src/plan2.rs",
+            "// ftlint::allow(FTL-Q999): the catalog has no Q family\n\
+             pub fn noop() {}\n",
+            1,
+        ),
+    ]
+}
+
+#[test]
+fn every_rule_fires_on_its_injection_at_the_exact_line() {
+    for (code, path, src, line) in injections() {
+        let got = codes(path, src);
+        assert!(
+            got.contains(&(code, line)),
+            "{code} did not fire at {path}:{line}; got {got:?}"
+        );
+        // Exactly one finding: the injection is minimal by construction.
+        assert_eq!(got.len(), 1, "{code} fixture over-fires: {got:?}");
+    }
+}
+
+#[test]
+fn the_whole_catalog_is_covered_by_injections() {
+    let covered: Vec<&str> = injections().iter().map(|(c, ..)| *c).collect();
+    for rule in ALL_RULES {
+        assert!(
+            covered.contains(&rule.code()),
+            "no injection fixture for {}",
+            rule.code()
+        );
+    }
+}
+
+#[test]
+fn for_loop_form_of_hash_iteration_fires_too() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+               let mut out = Vec::new();\n\
+               for (k, _) in m {\n\
+               out.push(*k);\n\
+               }\n\
+               out\n\
+               }\n";
+    let got = codes("crates/routing/src/lib.rs", src);
+    assert_eq!(got, vec![("FTL-D001", 4)], "{got:?}");
+}
+
+#[test]
+fn collect_then_sort_and_hash_rebuild_idioms_are_clean() {
+    // The successor-statement sink window: collect, then sort.
+    let sorted = "use std::collections::HashMap;\n\
+                  fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                  let mut v: Vec<u32> = m.keys().copied().collect();\n\
+                  v.sort_unstable();\n\
+                  v\n\
+                  }\n";
+    assert_eq!(codes("crates/routing/src/lib.rs", sorted), vec![]);
+
+    // Hash-to-hash rebuild: destination re-hashes, order cannot escape.
+    let rebuild = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> HashMap<u32, u32> {\n\
+                   let m2: HashMap<u32, u32> = m.iter().map(|(k, v)| (*k, v + 1)).collect();\n\
+                   m2\n\
+                   }\n";
+    assert_eq!(codes("crates/routing/src/lib.rs", rebuild), vec![]);
+
+    // Order-insensitive reduction.
+    let summed = "use std::collections::HashMap;\n\
+                  fn f(m: &HashMap<u32, u32>) -> u32 {\n\
+                  let total: u32 = m.values().sum();\n\
+                  total\n\
+                  }\n";
+    assert_eq!(codes("crates/routing/src/lib.rs", summed), vec![]);
+
+    // Collect into a BTreeMap: ordered by construction.
+    let btree = "use std::collections::{BTreeMap, HashMap};\n\
+                 fn f(m: &HashMap<u32, u32>) -> BTreeMap<u32, u32> {\n\
+                 let b: BTreeMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();\n\
+                 b\n\
+                 }\n";
+    assert_eq!(codes("crates/routing/src/lib.rs", btree), vec![]);
+}
+
+#[test]
+fn exemptions_hold_for_bins_tests_report_and_non_engine_crates() {
+    // Bins may print and unwrap I/O.
+    let bin = "fn main() {\n\
+               let s = std::fs::read_to_string(\"x\").unwrap();\n\
+               println!(\"{s}\");\n\
+               }\n";
+    assert_eq!(codes("crates/bench/src/bin/tool.rs", bin), vec![]);
+
+    // The report module is the sanctioned stdout surface.
+    let report = "pub fn emit(s: &str) {\n\
+                  println!(\"{s}\");\n\
+                  }\n";
+    assert_eq!(codes("crates/bench/src/report.rs", report), vec![]);
+
+    // Test regions are exempt from every rule.
+    let tests = "#[cfg(test)]\n\
+                 mod tests {\n\
+                 fn f() -> u64 {\n\
+                 let mut rng = rand::thread_rng();\n\
+                 rng.gen()\n\
+                 }\n\
+                 }\n";
+    assert_eq!(codes("crates/traffic/src/gen.rs", tests), vec![]);
+
+    // Wall-clock reads are fine outside engine crates (bench measures).
+    let bench = "pub fn measure() -> std::time::Instant {\n\
+                 std::time::Instant::now()\n\
+                 }\n";
+    assert_eq!(codes("crates/bench/src/timer.rs", bench), vec![]);
+
+    // total_cmp is the sanctioned float ordering.
+    let total = "pub fn sorted(v: &mut Vec<f64>) {\n\
+                 v.sort_by(|a, b| a.total_cmp(b));\n\
+                 }\n";
+    assert_eq!(codes("crates/mcf/src/order.rs", total), vec![]);
+
+    // try_from is the sanctioned narrowing (no `as`, no R003; try_from
+    // is not on the fallible-path list, so the expect is fine too).
+    let tryfrom = "pub fn head(xs: &[u64]) -> u32 {\n\
+                   u32::try_from(xs.len()).expect(\"fits u32\")\n\
+                   }\n";
+    assert_eq!(codes("crates/mcf/src/pack.rs", tryfrom), vec![]);
+
+    // Truncating casts outside the allocator/wire scope are not R003.
+    let elsewhere = "pub fn head(xs: &[u64]) -> u32 {\n\
+                     xs.len() as u32\n\
+                     }\n";
+    assert_eq!(codes("crates/topology/src/pack.rs", elsewhere), vec![]);
+}
+
+#[test]
+fn justified_allow_suppresses_exactly_its_rule_and_line() {
+    let src = "pub fn draw() -> u64 {\n\
+               // ftlint::allow(FTL-D003): draws are replayed from the seeded event log\n\
+               let mut rng = rand::thread_rng();\n\
+               rng.gen()\n\
+               }\n";
+    assert_eq!(codes("crates/traffic/src/gen.rs", src), vec![]);
+
+    // The same directive does not cover a second violation line.
+    let two = "pub fn draw() -> u64 {\n\
+               // ftlint::allow(FTL-D003): first draw is replayed\n\
+               let mut a = rand::thread_rng();\n\
+               let mut b = rand::thread_rng();\n\
+               a.gen() ^ b.gen()\n\
+               }\n";
+    assert_eq!(
+        codes("crates/traffic/src/gen.rs", two),
+        vec![("FTL-D003", 4)]
+    );
+
+    // A directive naming the wrong rule suppresses nothing.
+    let wrong = "pub fn draw() -> u64 {\n\
+                 // ftlint::allow(FTL-D002): wrong family\n\
+                 let mut rng = rand::thread_rng();\n\
+                 rng.gen()\n\
+                 }\n";
+    assert_eq!(
+        codes("crates/traffic/src/gen.rs", wrong),
+        vec![("FTL-D003", 3)]
+    );
+}
+
+#[test]
+fn unjustified_allow_reports_hygiene_and_does_not_suppress() {
+    let src = "pub fn draw() -> u64 {\n\
+               // ftlint::allow(FTL-D003)\n\
+               let mut rng = rand::thread_rng();\n\
+               rng.gen()\n\
+               }\n";
+    let got = codes("crates/traffic/src/gen.rs", src);
+    assert!(got.contains(&("FTL-S001", 2)), "{got:?}");
+    assert!(got.contains(&("FTL-D003", 3)), "{got:?}");
+}
+
+#[test]
+fn report_is_input_order_independent_and_byte_identical() {
+    let files: Vec<FileInput> = injections()
+        .iter()
+        .map(|(_, path, src, _)| input(path, src))
+        .collect();
+    let mut reversed = files.clone();
+    reversed.reverse();
+    assert_eq!(analyze_files(&files), analyze_files(&reversed));
+
+    let a = render(&LintReport::run(&files));
+    let b = render(&LintReport::run(&files));
+    assert_eq!(a, b, "text report is byte-identical across runs");
+    let ja = serde_json::to_string_pretty(&LintReport::run(&files)).expect("report serializes");
+    let jb = serde_json::to_string_pretty(&LintReport::run(&reversed)).expect("report serializes");
+    assert_eq!(ja, jb, "JSON report is byte-identical across input orders");
+}

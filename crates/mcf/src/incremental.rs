@@ -322,7 +322,8 @@ impl IncrementalAllocator {
             if self.scratch_links.len() == before {
                 return Err(AllocError::EmptyPath);
             }
-            self.scratch_off.push(self.scratch_links.len() as u32);
+            self.scratch_off
+                .push(u32::try_from(self.scratch_links.len()).expect("offsets fit u32"));
         }
         if self.scratch_off.len() < 2 {
             return Err(AllocError::EmptyPath);
@@ -340,7 +341,7 @@ impl IncrementalAllocator {
         let weight = self.weights[gi];
         let mut s = self.slots[gi];
         if (s.ent_cap as usize) < nsub {
-            s.ent_base = self.ent_w.len() as u32;
+            s.ent_base = u32::try_from(self.ent_w.len()).expect("entity base fits u32");
             s.ent_cap = nsub as u32;
             let n = self.ent_w.len() + nsub;
             self.ent_w.resize(n, 0.0);
@@ -350,7 +351,7 @@ impl IncrementalAllocator {
             self.ent_len.resize(n, 0);
         }
         if (s.links_cap as usize) < total {
-            s.links_off = self.links_flat.len() as u32;
+            s.links_off = u32::try_from(self.links_flat.len()).expect("link offset fits u32");
             s.links_cap = total as u32;
             self.links_flat.resize(self.links_flat.len() + total, 0);
         }
@@ -402,12 +403,12 @@ impl IncrementalAllocator {
                 self.slots.push(GroupSlot::default());
                 self.weights.push(0.0);
                 self.pos.push(u32::MAX);
-                (self.slots.len() - 1) as u32
+                u32::try_from(self.slots.len() - 1).expect("group ids fit u32")
             }
         };
         self.weights[gid as usize] = weight;
         self.place_buffered(gid);
-        self.pos[gid as usize] = self.order.len() as u32;
+        self.pos[gid as usize] = u32::try_from(self.order.len()).expect("positions fit u32");
         self.order.push(gid);
         // New group holds the maximum position, so plain appends keep
         // every user list sorted by (position, subflow).
@@ -574,7 +575,7 @@ impl IncrementalAllocator {
     /// weight instead would not be: floating-point addition is not
     /// associative enough to undo a fold term.)
     fn refold_dirty(&mut self, capacity: &[f64]) {
-        self.stats.dirty_links = self.dirty.len() as u32;
+        self.stats.dirty_links = u32::try_from(self.dirty.len()).expect("dirty count fits u32");
         let mut dirty_entities = 0u32;
         let dirty = std::mem::take(&mut self.dirty);
         for &l in &dirty {
@@ -584,7 +585,7 @@ impl IncrementalAllocator {
             for &e in &self.users[li] {
                 w += self.ent_w[e as u32 as usize];
             }
-            dirty_entities += self.users[li].len() as u32;
+            dirty_entities += u32::try_from(self.users[li].len()).expect("user count fits u32");
             self.act_w_base[li] = w;
             let cap = capacity.get(li).copied().unwrap_or(0.0);
             self.cap_bits[li] = cap.to_bits();
@@ -598,7 +599,8 @@ impl IncrementalAllocator {
             let was_live = self.live_pos[li] != u32::MAX;
             let now_live = w > DEAD_W;
             if now_live && !was_live {
-                self.live_pos[li] = self.live_links.len() as u32;
+                self.live_pos[li] =
+                    u32::try_from(self.live_links.len()).expect("live count fits u32");
                 self.live_links.push(l);
             } else if !now_live && was_live {
                 let d = self.live_pos[li] as usize;
@@ -683,7 +685,8 @@ impl IncrementalAllocator {
             let s = self.init_share[l];
             if s <= h0 {
                 self.flags[l] = TIER_BUCKET;
-                self.bucket_pos[l] = self.bucket_links.len() as u32;
+                self.bucket_pos[l] =
+                    u32::try_from(self.bucket_links.len()).expect("bucket fits u32");
                 self.bucket_links.push(l as u32);
                 self.bucket_share.push(s);
             } else {
@@ -743,7 +746,8 @@ impl IncrementalAllocator {
                             let share = h.rem.max(0.0) / h.act;
                             if share <= target {
                                 self.flags[l] = TIER_BUCKET;
-                                self.bucket_pos[l] = self.bucket_links.len() as u32;
+                                self.bucket_pos[l] = u32::try_from(self.bucket_links.len())
+                                    .expect("bucket fits u32");
                                 self.bucket_links.push(l as u32);
                                 self.bucket_share.push(share);
                                 if share < min_share {

@@ -111,7 +111,8 @@ impl AllocWorkspace {
             return Err(AllocError::EmptyPath);
         }
         self.ent_weight.push(weight);
-        self.ent_off.push(self.ent_links.len() as u32);
+        self.ent_off
+            .push(u32::try_from(self.ent_links.len()).expect("offsets fit u32"));
         Ok(())
     }
 

@@ -254,11 +254,13 @@ impl Metrics {
 }
 
 fn quote(s: &str) -> String {
+    // ftlint::allow(FTL-R001): serializing a plain &str cannot fail
     serde_json::to_string(&s).expect("strings serialize")
 }
 
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
+        // ftlint::allow(FTL-R001): serializing a finite f64 cannot fail (non-finite handled above)
         serde_json::to_string(&v).expect("finite floats serialize")
     } else {
         "null".to_string()

@@ -306,12 +306,14 @@ where
                     let out = job(&items[i]);
                     collected
                         .lock()
+                        // ftlint::allow(FTL-R001): Mutex poisoning only follows a worker panic, which join() then propagates
                         .expect("route-plane collector")
                         .push((i, out));
                 })
             })
             .collect();
         for h in handles {
+            // ftlint::allow(FTL-R001): a worker panic must propagate; a partial route plane would be unsound
             h.join().expect("route-plane worker panicked");
         }
     })

@@ -123,8 +123,7 @@ pub fn best_k(rig: &TestbedRig, mode: PodMode) -> usize {
         .into_iter()
         .max_by(|&a, &b| {
             steady_state_gbps_with_k(rig, mode, a)
-                .partial_cmp(&steady_state_gbps_with_k(rig, mode, b))
-                .unwrap()
+                .total_cmp(&steady_state_gbps_with_k(rig, mode, b))
         })
         .expect("nonempty")
 }

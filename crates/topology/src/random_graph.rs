@@ -175,7 +175,7 @@ pub(crate) fn proportional_quota(avail: &[usize], count: usize) -> Vec<usize> {
         assigned += base;
         rems.push((exact - base as f64, i));
     }
-    rems.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    rems.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut i = 0;
     while assigned < count {
         let idx = rems[i % rems.len()].1;

@@ -6,9 +6,12 @@
 
 use crate::corrupt::Corruption;
 use crate::diag::{canonicalize, Finding};
-use crate::{addressing_rules, control_rules, graph_rules, routing_rules};
+use crate::{addressing_rules, control_rules, fault_rules, graph_rules, routing_rules};
 use flat_tree::{FlatTree, FlatTreeParams, ModeAssignment, PodMode};
+use flowsim::faults::StuckConfig;
+use flowsim::FaultPlan;
 use ft_bench::Scale;
+use netgraph::{Graph, LinkId};
 use routing::addressing::TopologyModeId;
 use serde::Serialize;
 use testbed::rig::testbed_params;
@@ -17,6 +20,14 @@ use topology::ClosParams;
 /// Concurrent paths for rule compilation and path-set checks: the
 /// testbed's k = 4 (§5.3).
 pub const DEFAULT_K: usize = 4;
+
+/// Fixed seed of the fault cell's plan. Deliberately NOT the CLI seed:
+/// the battery's artifacts must be identical across invocations, so the
+/// plan's flap draw is pinned here and the CLI seed is echo-only.
+pub const FAULT_PLAN_SEED: u64 = 0xf1a7;
+
+/// Shards the fault cell partitions its per-switch jobs over.
+pub const FAULT_SHARDS: usize = 3;
 
 /// What a cell verifies.
 #[derive(Debug, Clone)]
@@ -27,6 +38,9 @@ pub enum CheckKind {
     Control,
     /// The §4.1 address plan across all mode ids.
     Addressing,
+    /// Fault-plane artifacts: compiled schedule, stuck-converter
+    /// targets, and the controller shard partition.
+    Faults,
 }
 
 /// One independent battery cell.
@@ -45,7 +59,7 @@ pub struct Cell {
 pub struct CellReport {
     /// Topology name.
     pub topo: String,
-    /// Check label (`mode:global`, `control`, `addressing`).
+    /// Check label (`mode:global`, `control`, `addressing`, `faults`).
     pub check: String,
     /// Canonicalized findings; empty means the cell is clean.
     pub findings: Vec<Finding>,
@@ -54,7 +68,8 @@ pub struct CellReport {
 /// The whole battery's result.
 #[derive(Debug, Clone, Serialize)]
 pub struct BatteryReport {
-    /// Seed echoed from the CLI (the battery itself is RNG-free).
+    /// Seed echoed from the CLI. The battery never draws from it: the
+    /// fault cell's only randomness is pinned to [`FAULT_PLAN_SEED`].
     pub seed: u64,
     /// Grid label (`smoke`, `default`, `full`).
     pub grid: String,
@@ -130,12 +145,30 @@ pub fn grid(scale: &Scale) -> Vec<Cell> {
             kind: CheckKind::Control,
         });
         cells.push(Cell {
-            topo,
+            topo: topo.clone(),
             params,
             kind: CheckKind::Addressing,
         });
+        cells.push(Cell {
+            topo,
+            params,
+            kind: CheckKind::Faults,
+        });
     }
     cells
+}
+
+/// All duplex switch-switch cables (one direction per cable) — the
+/// population the fault cell's flap draw samples from.
+fn cables(g: &Graph) -> Vec<LinkId> {
+    g.link_ids()
+        .filter(|&l| {
+            let info = g.link(l);
+            g.node(info.src).kind.is_switch()
+                && g.node(info.dst).kind.is_switch()
+                && info.reverse.is_none_or(|r| r.0 > l.0)
+        })
+        .collect()
 }
 
 /// Runs one cell, optionally with a planted corruption.
@@ -168,6 +201,46 @@ pub fn run_cell(cell: &Cell, k: usize, corruption: Option<Corruption>) -> CellRe
             (
                 "addressing".to_string(),
                 addressing_rules::check(&instances, k),
+            )
+        }
+        CheckKind::Faults => {
+            let inst = ft.instantiate(&ModeAssignment::uniform(ft.pods(), PodMode::Global));
+            let g = &inst.net.graph;
+            let converters = ft.layout.converters.len();
+
+            // A quarter of the cables flap (all recovering), plus one
+            // stuck override per blade class — the same artifact shapes
+            // the faultsweep experiment feeds the engine.
+            let mut plan = FaultPlan::new(FAULT_PLAN_SEED);
+            plan.random_link_flaps(&cables(g), 0.25, 0.4, (0.0, 2.0));
+            plan.stuck_converter(0, StuckConfig::Default);
+            plan.stuck_converter(converters - 1, StuckConfig::Local);
+            let mut schedule = plan.compile(g).expect("battery fault plan compiles");
+
+            // Per-switch jobs derived from the deterministic port-usage
+            // map: synthetic but shaped like real ConversionWork.
+            let per_switch: Vec<(usize, usize)> = inst
+                .port_usage()
+                .values()
+                .map(|&gbps| {
+                    let units = gbps.round() as usize;
+                    (units, units / 2)
+                })
+                .collect();
+            let mut partition = control::resilient::shard_partition(&per_switch, FAULT_SHARDS);
+
+            if let Some(c) = corruption {
+                c.apply_to_faults(
+                    converters,
+                    &mut plan,
+                    &mut schedule,
+                    &mut partition,
+                    per_switch.len(),
+                );
+            }
+            (
+                "faults".to_string(),
+                fault_rules::check(&ft, &plan, &schedule, per_switch.len(), &partition),
             )
         }
     };

@@ -7,6 +7,8 @@
 
 use crate::diag::RuleCode;
 use flat_tree::FlatTreeInstance;
+use flowsim::faults::StuckConfig;
+use flowsim::{FaultPlan, FaultSchedule};
 
 /// A plantable defect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,14 +22,30 @@ pub enum Corruption {
     /// Drop the k-shortest-path set of the first switch pair, as a
     /// truncated rule download would.
     TruncatePaths,
+    /// Reverse the compiled fault schedule, as hand-edited event lists
+    /// end up.
+    UnsortedSchedule,
+    /// Drop the last recovery event, leaving a flap's promised `up_at`
+    /// with no matching up event.
+    DanglingRecovery,
+    /// Point a stuck-converter override one past the converter
+    /// inventory, as a stale plan replayed on a smaller topology would.
+    StuckOutOfRange,
+    /// Bump one shard's first switch index past the job set, as an
+    /// off-by-one in partition replay would.
+    ShardOutOfRange,
 }
 
 impl Corruption {
     /// Every variant, in CLI order.
-    pub const ALL: [Corruption; 3] = [
+    pub const ALL: [Corruption; 7] = [
         Corruption::SwapSideLink,
         Corruption::OverloadPort,
         Corruption::TruncatePaths,
+        Corruption::UnsortedSchedule,
+        Corruption::DanglingRecovery,
+        Corruption::StuckOutOfRange,
+        Corruption::ShardOutOfRange,
     ];
 
     /// The `--inject` spelling.
@@ -36,6 +54,10 @@ impl Corruption {
             Corruption::SwapSideLink => "swap-side-link",
             Corruption::OverloadPort => "overload-port",
             Corruption::TruncatePaths => "truncate-paths",
+            Corruption::UnsortedSchedule => "unsorted-schedule",
+            Corruption::DanglingRecovery => "dangling-recovery",
+            Corruption::StuckOutOfRange => "stuck-out-of-range",
+            Corruption::ShardOutOfRange => "shard-out-of-range",
         }
     }
 
@@ -50,12 +72,16 @@ impl Corruption {
             Corruption::SwapSideLink => RuleCode::SideWiring,
             Corruption::OverloadPort => RuleCode::PortBudget,
             Corruption::TruncatePaths => RuleCode::Blackhole,
+            Corruption::UnsortedSchedule => RuleCode::FaultScheduleOrder,
+            Corruption::DanglingRecovery => RuleCode::FaultScheduleOrder,
+            Corruption::StuckOutOfRange => RuleCode::FaultTargets,
+            Corruption::ShardOutOfRange => RuleCode::ShardPartition,
         }
     }
 
     /// Applies a graph-level corruption to an instance. `TruncatePaths`
-    /// is routing-level and leaves the graph untouched — the battery
-    /// truncates the path set instead.
+    /// is routing-level and the `FT-Fxxx` variants are fault-plane-level;
+    /// both leave the graph untouched.
     pub fn apply(self, inst: &mut FlatTreeInstance) {
         let rate = crate::graph_rules::unit_gbps(&*inst);
         match self {
@@ -73,7 +99,11 @@ impl Corruption {
                 let core = inst.cores[0];
                 inst.net.graph.add_duplex_link(edge, core, rate);
             }
-            Corruption::TruncatePaths => {}
+            Corruption::TruncatePaths
+            | Corruption::UnsortedSchedule
+            | Corruption::DanglingRecovery
+            | Corruption::StuckOutOfRange
+            | Corruption::ShardOutOfRange => {}
         }
     }
 
@@ -83,6 +113,47 @@ impl Corruption {
         match self {
             Corruption::TruncatePaths => 1,
             _ => 0,
+        }
+    }
+
+    /// Applies a fault-plane corruption to the battery's fault-cell
+    /// artifacts: the plan, its compiled schedule, and the shard
+    /// partition. Graph/routing variants leave them untouched.
+    pub fn apply_to_faults(
+        self,
+        converter_count: usize,
+        plan: &mut FaultPlan,
+        schedule: &mut FaultSchedule,
+        partition: &mut [Vec<usize>],
+        jobs: usize,
+    ) {
+        match self {
+            Corruption::UnsortedSchedule => {
+                assert!(schedule.events.len() >= 2, "need events to unsort");
+                schedule.events.reverse();
+            }
+            Corruption::DanglingRecovery => {
+                // Drop every up event of one flapped cable, so the
+                // plan's promised `up_at` has no surviving match.
+                let link = plan
+                    .link_flaps
+                    .last()
+                    .expect("fault cell plans at least one flap")
+                    .link;
+                schedule.events.retain(|e| !(e.up && e.link == link));
+            }
+            Corruption::StuckOutOfRange => {
+                plan.stuck_converter(converter_count, StuckConfig::Default);
+            }
+            Corruption::ShardOutOfRange => {
+                let sw = partition
+                    .iter_mut()
+                    .flat_map(|shard| shard.iter_mut())
+                    .next()
+                    .expect("fault cell partitions at least one switch");
+                *sw = jobs;
+            }
+            Corruption::SwapSideLink | Corruption::OverloadPort | Corruption::TruncatePaths => {}
         }
     }
 }
@@ -97,5 +168,17 @@ mod tests {
             assert_eq!(Corruption::from_name(c.name()), Some(c));
         }
         assert_eq!(Corruption::from_name("nope"), None);
+    }
+
+    #[test]
+    fn fault_variants_expect_fault_codes() {
+        for c in [
+            Corruption::UnsortedSchedule,
+            Corruption::DanglingRecovery,
+            Corruption::StuckOutOfRange,
+            Corruption::ShardOutOfRange,
+        ] {
+            assert!(c.expected_code().code().starts_with("FT-F"), "{c:?}");
+        }
     }
 }

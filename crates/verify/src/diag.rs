@@ -73,6 +73,15 @@ pub enum RuleCode {
     /// An address field exceeds its Figure 5a bit width, or a server has
     /// the wrong number of addresses for its mode's k.
     AddressWidth,
+    /// A compiled fault schedule is out of order, or a flap's promised
+    /// recovery event is missing.
+    FaultScheduleOrder,
+    /// A stuck-converter override targets a converter that does not
+    /// exist, or forces a config its blade kind cannot latch.
+    FaultTargets,
+    /// A controller shard partition is not an exact in-range permutation
+    /// of the per-switch job set.
+    ShardPartition,
 }
 
 impl RuleCode {
@@ -98,6 +107,9 @@ impl RuleCode {
             RuleCode::AddressUnique => "FT-A001",
             RuleCode::PrefixAggregation => "FT-A002",
             RuleCode::AddressWidth => "FT-A003",
+            RuleCode::FaultScheduleOrder => "FT-F001",
+            RuleCode::FaultTargets => "FT-F002",
+            RuleCode::ShardPartition => "FT-F003",
         }
     }
 
@@ -128,6 +140,9 @@ impl RuleCode {
             RuleCode::AddressUnique => "Figure 5a addresses must be unique; check switch-id stability across modes",
             RuleCode::PrefixAggregation => "all servers under one ingress switch must share a /24 per path id (§4.2.1)",
             RuleCode::AddressWidth => "fields must fit 13/3/2/6 bits and each server needs ceil(sqrt(k)) addresses per mode (§4.1)",
+            RuleCode::FaultScheduleOrder => "FaultPlan::compile must sort by (time, down-before-up, link) and keep every up_at event; recompile instead of editing events",
+            RuleCode::FaultTargets => "stuck overrides must name converters in the layout inventory with configs valid_for their blade kind; 4-port blades latch default/local only",
+            RuleCode::ShardPartition => "shard_partition must place each switch job in exactly one in-range shard; regenerate from ConversionWork::per_switch",
         }
     }
 }
@@ -213,6 +228,9 @@ mod tests {
             RuleCode::AddressUnique,
             RuleCode::PrefixAggregation,
             RuleCode::AddressWidth,
+            RuleCode::FaultScheduleOrder,
+            RuleCode::FaultTargets,
+            RuleCode::ShardPartition,
         ];
         let mut codes: Vec<&str> = all.iter().map(|r| r.code()).collect();
         codes.sort_unstable();

@@ -18,7 +18,11 @@
 //! * **control rules** (`FT-Cxxx`) — conversions touch converter
 //!   circuits only, rule delete/add algebra, stage-plan coverage;
 //! * **addressing rules** (`FT-Axxx`) — uniqueness, field widths, and
-//!   /24 aggregation of the MPTCP address plan.
+//!   /24 aggregation of the MPTCP address plan;
+//! * **fault-plan rules** (`FT-Fxxx`) — compiled fault schedules are
+//!   time-sorted with every promised recovery present, stuck-converter
+//!   overrides target real converters with latchable configs, and the
+//!   controller shard partition is an exact in-range permutation.
 //!
 //! The graph rules share their rule source with the `strict-invariants`
 //! cargo feature: [`flat_tree::invariants`] backs both the static
@@ -35,6 +39,7 @@ pub mod battery;
 pub mod control_rules;
 pub mod corrupt;
 pub mod diag;
+pub mod fault_rules;
 pub mod graph_rules;
 pub mod routing_rules;
 
