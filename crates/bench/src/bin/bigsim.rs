@@ -1,0 +1,20 @@
+//! Extension experiment: decomposed production-scale simulation.
+//! See EXPERIMENTS.md.
+
+use ft_bench::experiments::bigsim;
+use ft_bench::{recorder, Cli};
+
+fn main() {
+    let cli = Cli::parse("bigsim");
+    let rec = recorder::start("bigsim", &cli);
+    let scale = cli.scale;
+    let out = bigsim::run(scale);
+    bigsim::print(&out);
+    if scale.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+    }
+    recorder::finish(rec);
+}

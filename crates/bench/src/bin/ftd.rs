@@ -28,14 +28,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 fn usage() -> String {
-    "usage: ftd [--listen <addr:port>]\n\
+    "usage: ftd [--listen <addr:port>] [--read-timeout-ms <ms>]\n\
      \n\
      options:\n\
-     \x20 --listen <addr:port>  serve the wire protocol on a TCP listener\n\
-     \x20                       (default: stdin/stdout pipes)\n\
-     \x20 --help                print this message"
+     \x20 --listen <addr:port>     serve the wire protocol on a TCP listener\n\
+     \x20                          (default: stdin/stdout pipes)\n\
+     \x20 --read-timeout-ms <ms>   drop a TCP peer that stays silent this\n\
+     \x20                          long and accept the next connection\n\
+     \x20                          (default 30000; 0 waits forever)\n\
+     \x20 --help                   print this message"
         .to_string()
 }
+
+/// Default TCP read deadline: a peer that sends nothing for this long
+/// is treated as half-open and dropped so the accept loop can serve the
+/// next connection.
+const DEFAULT_READ_TIMEOUT_MS: u64 = 30_000;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +52,7 @@ fn main() {
         return;
     }
     let mut listen: Option<String> = None;
+    let mut read_timeout_ms = DEFAULT_READ_TIMEOUT_MS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +62,16 @@ fn main() {
                     Some(addr) => listen = Some(addr.clone()),
                     None => {
                         eprintln!("ftd: --listen needs an address\n{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) => read_timeout_ms = ms,
+                    None => {
+                        eprintln!("ftd: --read-timeout-ms needs a number\n{}", usage());
                         std::process::exit(2);
                     }
                 }
@@ -74,7 +93,7 @@ fn main() {
                 &mut BufWriter::new(stdout.lock()),
             )
         }
-        Some(addr) => serve_tcp(&addr),
+        Some(addr) => serve_tcp(&addr, read_timeout_ms),
     };
     std::process::exit(code);
 }
@@ -82,7 +101,16 @@ fn main() {
 /// Binds `addr` and serves connections one at a time, forever. The
 /// bound address is announced on stdout (one line, then EOF-silence)
 /// so callers binding port 0 can discover the port.
-fn serve_tcp(addr: &str) -> i32 {
+///
+/// Every accepted stream gets `read_timeout_ms` as its read deadline
+/// (0 = wait forever): a peer that connects and then goes silent —
+/// before its first request or mid-frame — surfaces as a typed
+/// `WireError::Timeout`, the session ends with code 4, and the loop
+/// accepts the next connection instead of hanging the worker slot on a
+/// half-open socket. A peer that *closes* early (before Hello, or
+/// after a partial frame) likewise ends its session with a typed error
+/// and frees the slot.
+fn serve_tcp(addr: &str, read_timeout_ms: u64) -> i32 {
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -104,6 +132,13 @@ fn serve_tcp(addr: &str) -> i32 {
         match listener.accept() {
             Ok((stream, peer)) => {
                 eprintln!("ftd: serving {peer}");
+                if read_timeout_ms > 0 {
+                    let deadline = std::time::Duration::from_millis(read_timeout_ms);
+                    if let Err(e) = stream.set_read_timeout(Some(deadline)) {
+                        eprintln!("ftd: set_read_timeout for {peer}: {e}");
+                        continue;
+                    }
+                }
                 let Ok(read_half) = stream.try_clone() else {
                     eprintln!("ftd: cannot clone stream for {peer}");
                     continue;

@@ -117,13 +117,42 @@ struct Snapshot {
 }
 
 impl Snapshot {
+    /// Events per second, or NaN for a degenerate measurement (zero or
+    /// non-finite wall-clock). NaN rather than 0 so that degenerate
+    /// runs *fail* [`validate_snapshots`] and the `--check` floor with
+    /// a diagnostic instead of sliding through every `<` comparison.
     fn events_per_s(&self) -> f64 {
-        if self.wall_ms > 0.0 {
+        if self.wall_ms.is_finite() && self.wall_ms > 0.0 {
             self.events as f64 / (self.wall_ms / 1e3)
         } else {
-            0.0
+            f64::NAN
         }
     }
+}
+
+/// Rejects degenerate measurements before they can be written into a
+/// snapshot (and become unusable floors): a workload that produced no
+/// events, no wall-clock, or a non-finite rate is a broken run, not a
+/// slow one. Returns one diagnostic per violation.
+fn validate_snapshots(snaps: &[Snapshot]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for snap in snaps {
+        if snap.events == 0 {
+            violations.push(format!(
+                "{}: produced 0 events (wall {:.3} ms) — nothing was measured",
+                snap.name, snap.wall_ms
+            ));
+            continue;
+        }
+        let eps = snap.events_per_s();
+        if !(eps.is_finite() && eps > 0.0) {
+            violations.push(format!(
+                "{}: degenerate events_per_s {eps} from wall_ms {:.3} over {} events",
+                snap.name, snap.wall_ms, snap.events
+            ));
+        }
+    }
+    violations
 }
 
 fn measure_sim(
@@ -269,6 +298,34 @@ fn measure_dispatch(name: &'static str, workers: usize) -> Snapshot {
     }
 }
 
+/// The decomposed-simulation workload: `bigsim`'s all-modes run
+/// (fat-tree + three flat-tree conversions) at k=8 under `--smoke`
+/// and the full k=32 / 8192-server scale otherwise. One rep — the
+/// decomposition is the thing under test and a k=32 all-modes pass is
+/// tens of seconds. `events` counts per-flow FCT estimates produced
+/// across all networks; `peak_rss_kb` is the high-water mark after the
+/// largest topology, the number ROADMAP's scale target cares about.
+fn measure_bigsim(smoke: bool) -> Snapshot {
+    let scale = Scale {
+        smoke,
+        full: !smoke,
+        ..Scale::default()
+    };
+    let t0 = Instant::now();
+    let out = ft_bench::experiments::bigsim::run(scale);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let events: u64 = out.points.iter().map(|p| p.completed as u64).sum();
+    std::hint::black_box(&out);
+    Snapshot {
+        name: "bigsim_allmodes",
+        wall_ms,
+        events,
+        peak_rss_kb: peak_rss_kb(),
+        alloc: None,
+        retries: None,
+    }
+}
+
 struct Args {
     smoke: bool,
     out: String,
@@ -335,13 +392,17 @@ fn extract_events_per_s(json: &str) -> Vec<(String, f64)> {
         let Some(tail) = line.split("\"events_per_s\":").nth(1) else {
             continue;
         };
+        // Take the raw token (up to the next delimiter) and let parse
+        // failures surface as NaN, not 0.0: a snapshot that somehow
+        // contains "NaN"/"inf"/garbage must be *flagged* by the floor
+        // check, never silently treated as a floorless workload.
         let value: f64 = tail
             .trim_start()
             .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .take_while(|c| !matches!(c, ',' | '}' | ' ' | '\n'))
             .collect::<String>()
             .parse()
-            .unwrap_or(0.0);
+            .unwrap_or(f64::NAN);
         let name = line
             .trim_start()
             .trim_start_matches('"')
@@ -359,6 +420,11 @@ fn extract_events_per_s(json: &str) -> Vec<(String, f64)> {
 /// Enforces the regression floor: every workload present in both
 /// snapshots must reach [`FLOOR_FRACTION`] of its committed
 /// `events_per_s`. Returns the violations.
+///
+/// Degenerate values on *either* side are violations, not skips: a
+/// fresh NaN/zero rate means the run measured nothing (the old code
+/// let `NaN < floor` evaluate false and pass), and a committed
+/// NaN/zero floor means the snapshot itself is unusable as a gate.
 fn check_floors(fresh: &str, committed: &str) -> Vec<String> {
     let fresh = extract_events_per_s(fresh);
     let mut violations = Vec::new();
@@ -366,7 +432,21 @@ fn check_floors(fresh: &str, committed: &str) -> Vec<String> {
         let Some((_, got)) = fresh.iter().find(|(n, _)| *n == name) else {
             continue;
         };
-        if floor > 0.0 && *got < floor * FLOOR_FRACTION {
+        if !(floor.is_finite() && floor > 0.0) {
+            violations.push(format!(
+                "{name}: committed floor {floor} is not a positive finite rate — \
+                 regenerate the snapshot; this workload cannot be gated",
+            ));
+            continue;
+        }
+        if !(got.is_finite() && *got > 0.0) {
+            violations.push(format!(
+                "{name}: fresh events_per_s {got} is degenerate (zero-duration or \
+                 zero-event run) — the measurement is broken, not slow",
+            ));
+            continue;
+        }
+        if *got < floor * FLOOR_FRACTION {
             let need = floor * FLOOR_FRACTION;
             violations.push(format!(
                 "{name}: {got:.1} events/s < floor {need:.1} ({FLOOR_FRACTION}x of committed {floor:.1})",
@@ -459,6 +539,12 @@ fn main() {
         );
         snaps.push(snap);
     }
+    let snap = measure_bigsim(args.smoke);
+    eprintln!(
+        "perfsnap: {:<22} {:>9.1} ms  {:>9} flows   {:>8} kB peak",
+        snap.name, snap.wall_ms, snap.events, snap.peak_rss_kb
+    );
+    snaps.push(snap);
 
     // Surface the allocator counters through the obs metrics registry,
     // summed over the telemetry-carrying workloads.
@@ -470,6 +556,17 @@ fn main() {
     }
     if metrics.iter().next().is_some() {
         eprintln!("perfsnap: alloc metrics {}", metrics.summary_json());
+    }
+
+    // Refuse to write (or gate against) a snapshot containing broken
+    // measurements — a zero-duration or zero-event workload would
+    // otherwise become a floor no regression can ever trip.
+    let degenerate = validate_snapshots(&snaps);
+    if !degenerate.is_empty() {
+        for v in &degenerate {
+            eprintln!("perfsnap: DEGENERATE MEASUREMENT {v}");
+        }
+        std::process::exit(1);
     }
 
     let json = render_json(args.smoke, &snaps);
@@ -496,4 +593,101 @@ fn main() {
         std::process::exit(1);
     }
     println!("perfsnap: wrote {} ({} workloads)", args.out, snaps.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(name: &'static str, wall_ms: f64, events: u64) -> Snapshot {
+        Snapshot {
+            name,
+            wall_ms,
+            events,
+            peak_rss_kb: 0,
+            alloc: None,
+            retries: None,
+        }
+    }
+
+    /// The original defect: a zero-duration or zero-event run used to
+    /// report `events_per_s() == 0.0`, which every floor comparison
+    /// silently passed. It must now be NaN (degenerate sentinel).
+    #[test]
+    fn degenerate_wall_clock_is_nan_not_zero() {
+        assert!(snap("w", 0.0, 100).events_per_s().is_nan());
+        assert!(snap("w", -1.0, 100).events_per_s().is_nan());
+        assert!(snap("w", f64::INFINITY, 100).events_per_s().is_nan());
+        let healthy = snap("w", 2000.0, 100).events_per_s();
+        assert!((healthy - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_snapshots_flags_degenerate_runs() {
+        let ok = [snap("a", 10.0, 5), snap("b", 1.5, 1)];
+        assert!(validate_snapshots(&ok).is_empty());
+        let bad = [snap("a", 10.0, 5), snap("zero_events", 10.0, 0)];
+        let v = validate_snapshots(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("zero_events"), "{v:?}");
+        let bad = [snap("zero_wall", 0.0, 5)];
+        let v = validate_snapshots(&bad);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("zero_wall"), "{v:?}");
+    }
+
+    fn body(entries: &[(&str, &str)]) -> String {
+        let mut s = String::from("{\n  \"workloads\": {\n");
+        for (name, eps) in entries {
+            s.push_str(&format!(
+                "    \"{name}\": {{\"wall_ms\": 1.0, \"events\": 1, \"events_per_s\": {eps}, \"peak_rss_kb\": 0}},\n"
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    #[test]
+    fn healthy_floors_pass_and_regressions_fail() {
+        let committed = body(&[("sim", "1000.0")]);
+        assert!(check_floors(&body(&[("sim", "900.0")]), &committed).is_empty());
+        let v = check_floors(&body(&[("sim", "100.0")]), &committed);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("< floor"), "{v:?}");
+        // Workloads only on one side are not gated.
+        assert!(check_floors(&body(&[("other", "1.0")]), &committed).is_empty());
+    }
+
+    /// Regression: NaN/zero fresh values must FAIL the check, not slide
+    /// through the `<` comparison.
+    #[test]
+    fn degenerate_fresh_values_are_violations() {
+        let committed = body(&[("sim", "1000.0")]);
+        for bad in ["NaN", "0.0", "-3.0", "inf"] {
+            let v = check_floors(&body(&[("sim", bad)]), &committed);
+            assert_eq!(v.len(), 1, "fresh {bad} must be flagged");
+            assert!(v[0].contains("degenerate"), "{v:?}");
+        }
+    }
+
+    /// Regression: an unusable committed floor (NaN/zero/garbage) must
+    /// be reported, not silently skipped as "no floor".
+    #[test]
+    fn unusable_committed_floors_are_violations() {
+        let fresh = body(&[("sim", "500.0")]);
+        for bad in ["NaN", "0.0", "inf", "bogus"] {
+            let v = check_floors(&fresh, &body(&[("sim", bad)]));
+            assert_eq!(v.len(), 1, "committed {bad} must be flagged");
+            assert!(v[0].contains("cannot be gated"), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn extract_surfaces_parse_failures_as_nan() {
+        let got = extract_events_per_s(&body(&[("a", "12.5"), ("b", "wat")]));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], ("a".to_string(), 12.5));
+        assert_eq!(got[1].0, "b");
+        assert!(got[1].1.is_nan());
+    }
 }

@@ -1,0 +1,195 @@
+//! Production-scale decomposed simulation — the scale target ROADMAP
+//! sets for the convertible-architecture comparison.
+//!
+//! The exact fluid engine re-solves a global max-min allocation per
+//! event, which tops out around a few thousand servers. `decomp`
+//! (Parsimon-style link-cluster decomposition) trades second-order
+//! congestion coupling for locality, so this experiment can run a k=32
+//! fat-tree (8192 servers) and its flat-tree conversions — the paper's
+//! "entire data center as one giant pod" regime — on one machine.
+//!
+//! Per network (fat-tree baseline plus uniform flat-tree modes) the
+//! experiment decomposes a seeded permutation workload, reports the
+//! FCT distribution summary, and shows the compression the clustering
+//! achieved: loaded links vs clusters actually simulated. Stdout is
+//! deterministic (no wall-clock anywhere); perfsnap owns the timing
+//! story via the `bigsim_allmodes` workload.
+
+use super::common;
+use crate::report::{f3, print_table};
+use crate::Scale;
+use decomp::{decompose, DecompConfig};
+use flat_tree::PodMode;
+use serde::{Deserialize, Serialize};
+use topology::{fat_tree, DcNetwork};
+
+/// Fat-tree arity at each scale: smoke k=8 (128 servers), default k=16
+/// (1024), full k=32 (8192 — the 100k-server architecture's pod scale).
+pub fn arity(scale: Scale) -> usize {
+    if scale.smoke {
+        8
+    } else if scale.full {
+        32
+    } else {
+        16
+    }
+}
+
+/// Flow size of the permutation workload (bytes). Large enough that
+/// steady-state shares dominate, small enough to keep ideal FCTs around
+/// ten milliseconds.
+pub const FLOW_BYTES: f64 = 1e7;
+
+/// One network's decomposed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Network name (`fat-tree`, `flat-tree/clos`, ...).
+    pub network: String,
+    /// Servers in the topology.
+    pub servers: usize,
+    /// Flows in the permutation workload.
+    pub flows: usize,
+    /// Flows that completed (permutation on a healthy network: all).
+    pub completed: usize,
+    /// Directed links crossed by at least one flow.
+    pub loaded_links: usize,
+    /// Clusters formed = link-local exact simulations run.
+    pub clusters: usize,
+    /// Total flows across those simulations (the exact engine's work;
+    /// compare against `flows` times path length for the saving).
+    pub sim_flows: usize,
+    /// Mean FCT (seconds).
+    pub mean_fct: f64,
+    /// Median FCT (seconds).
+    pub p50_fct: f64,
+    /// 99th-percentile FCT (seconds).
+    pub p99_fct: f64,
+    /// Worst FCT (seconds).
+    pub max_fct: f64,
+}
+
+/// The experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Output {
+    /// Fat-tree arity `k` used.
+    pub k: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// One row per network, fat-tree first then flat-tree modes in
+    /// declaration order.
+    pub points: Vec<Point>,
+}
+
+fn measure(name: &str, net: &DcNetwork, seed: u64) -> Point {
+    let pairs = traffic::patterns::permutation(net.num_servers(), seed);
+    let flows = common::flow_specs(net, &pairs, FLOW_BYTES);
+    let out = decompose(&net.graph, &flows, &DecompConfig::default())
+        .expect("permutation workload is valid and single-path");
+    let mut fcts: Vec<f64> = out
+        .result
+        .records
+        .iter()
+        .filter_map(flowsim::FlowRecord::fct)
+        .collect();
+    fcts.sort_by(f64::total_cmp);
+    let (_, _, p50, _, max, mean) = crate::report::summary(&fcts);
+    Point {
+        network: name.to_string(),
+        servers: net.num_servers(),
+        flows: flows.len(),
+        completed: fcts.len(),
+        loaded_links: out.stats.loaded_links,
+        clusters: out.stats.clusters,
+        sim_flows: out.stats.sim_flows,
+        mean_fct: mean,
+        p50_fct: p50,
+        p99_fct: crate::report::percentile(&fcts, 99.0),
+        max_fct: max,
+    }
+}
+
+/// Runs the experiment at `scale`.
+pub fn run(scale: Scale) -> Output {
+    let k = arity(scale);
+    let clos = fat_tree(k);
+    let mut points = vec![measure("fat-tree", &clos.build().net, scale.seed)];
+    let ft = common::flat_tree_over(clos);
+    for mode in [PodMode::Clos, PodMode::Local, PodMode::Global] {
+        let inst = common::instance(&ft, mode);
+        points.push(measure(
+            &format!("flat-tree/{}", mode.tag()),
+            &inst.net,
+            scale.seed,
+        ));
+    }
+    Output {
+        k,
+        seed: scale.seed,
+        points,
+    }
+}
+
+/// Prints the deterministic stdout table.
+pub fn print(out: &Output) {
+    let rows: Vec<Vec<String>> = out
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.network.clone(),
+                p.servers.to_string(),
+                format!("{}/{}", p.completed, p.flows),
+                p.loaded_links.to_string(),
+                p.clusters.to_string(),
+                p.sim_flows.to_string(),
+                f3(p.mean_fct * 1e3),
+                f3(p.p50_fct * 1e3),
+                f3(p.p99_fct * 1e3),
+                f3(p.max_fct * 1e3),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "bigsim: decomposed k={} permutation (seed {})",
+            out.k, out.seed
+        ),
+        &[
+            "network", "servers", "done", "links", "clusters", "simflows", "mean ms", "p50 ms",
+            "p99 ms", "max ms",
+        ],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_completes_every_flow_and_compresses() {
+        let scale = Scale {
+            smoke: true,
+            ..Scale::default()
+        };
+        let out = run(scale);
+        assert_eq!(out.k, 8);
+        assert_eq!(out.points.len(), 4);
+        for p in &out.points {
+            assert_eq!(p.completed, p.flows, "{}", p.network);
+            assert!(p.clusters < p.loaded_links, "{}", p.network);
+            assert!(p.mean_fct > 0.0 && p.max_fct.is_finite(), "{}", p.network);
+        }
+    }
+
+    #[test]
+    fn smoke_run_is_deterministic() {
+        let scale = Scale {
+            smoke: true,
+            ..Scale::default()
+        };
+        let a = serde_json::to_string(&run(scale)).expect("serializable");
+        let b = serde_json::to_string(&run(scale)).expect("serializable");
+        assert_eq!(a, b);
+    }
+}

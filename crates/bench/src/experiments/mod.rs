@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper, plus shared builders.
 
 pub mod ablation;
+pub mod bigsim;
 pub mod common;
 pub mod faultsweep;
 pub mod fig10;

@@ -1,0 +1,178 @@
+//! Regression tests for the `ftd --listen` TCP accept path.
+//!
+//! The defect: a peer that connected and then went silent (half-open
+//! socket — a crashed driver whose FIN never arrived) parked the
+//! worker in a blocking `read_frame` forever, wedging the single
+//! sequential accept loop and the worker slot with it. Peers that
+//! *closed* early (before sending anything, or mid-frame) must
+//! likewise end their session with a typed `WireError` — never a
+//! panic, never a hang — and free the slot for the next connection.
+//!
+//! Each test's proof of "slot freed" is the same: after the misbehaving
+//! peer, a well-behaved connection completes a full handshake + cell
+//! round-trip on the same daemon.
+
+use ft_bench::dispatch::wire::{self, Hello, Request, Response, WorkerParams, PROTO_VERSION};
+use ft_bench::experiments::faultsweep;
+use ft_bench::Scale;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ftd_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_ftd"))
+}
+
+/// Spawns `ftd --listen 127.0.0.1:0 --read-timeout-ms <ms>` and returns
+/// the child plus the bound address parsed from the banner line.
+fn spawn_ftd(read_timeout_ms: u64) -> (Child, String) {
+    let mut child = Command::new(ftd_bin())
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--read-timeout-ms",
+            &read_timeout_ms.to_string(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ftd --listen");
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("read listen banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with the bound address")
+        .to_string();
+    (child, addr)
+}
+
+/// Completes one full protocol session — handshake, one smoke cell,
+/// shutdown — proving the daemon's (single) worker slot is free.
+fn full_round_trip(addr: &str) {
+    let stream = TcpStream::connect(addr).expect("connect to ftd");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("client read timeout");
+    let mut r = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut w = BufWriter::new(stream);
+    let hello: Hello = wire::read_frame(&mut r)
+        .expect("read hello")
+        .expect("hello frame");
+    assert_eq!(hello.proto, PROTO_VERSION);
+    let scale = Scale {
+        smoke: true,
+        ..Scale::default()
+    };
+    let spec = faultsweep::cell_grid(scale)
+        .into_iter()
+        .next()
+        .expect("smoke grid non-empty");
+    let params = WorkerParams {
+        req: 7,
+        cell: 0,
+        scale,
+        spec,
+        chaos: None,
+    };
+    wire::write_frame(&mut w, &Request::Cell(params)).expect("send cell");
+    let resp: Response = wire::read_frame(&mut r)
+        .expect("read response")
+        .expect("response frame");
+    match resp {
+        Response::Cell(res) => assert_eq!(res.req, 7),
+        Response::Failed { message, .. } => panic!("cell failed: {message}"),
+    }
+    wire::write_frame(&mut w, &Request::Shutdown).expect("send shutdown");
+}
+
+/// A peer that connects and dies (clean close) before sending anything
+/// — not even reading the Hello — must not wedge the daemon.
+#[test]
+fn peer_closing_before_hello_frees_the_slot() {
+    let (mut child, addr) = spawn_ftd(1000);
+    {
+        let stream = TcpStream::connect(&addr).expect("connect");
+        drop(stream); // die immediately, Hello unread
+    }
+    full_round_trip(&addr);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// A peer that sends a *partial* frame (a length prefix promising more
+/// bytes than ever arrive) and then closes must surface as a typed
+/// error server-side and free the slot.
+#[test]
+fn peer_closing_mid_frame_frees_the_slot() {
+    let (mut child, addr) = spawn_ftd(1000);
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        // Drain the Hello so our bytes are read as a request frame.
+        let mut r = BufReader::new(stream.try_clone().expect("clone"));
+        let _: Hello = wire::read_frame(&mut r)
+            .expect("read hello")
+            .expect("hello frame");
+        // Promise 64 payload bytes, deliver 3, die.
+        stream
+            .write_all(&64u32.to_be_bytes())
+            .expect("write length prefix");
+        stream.write_all(b"{\"C").expect("write partial payload");
+        stream.flush().expect("flush");
+    }
+    full_round_trip(&addr);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// The original hang: a peer that connects and stays *silent* without
+/// closing (half-open). The read deadline must expire the session and
+/// free the slot; before the fix this test never returned.
+#[test]
+fn silent_half_open_peer_times_out_and_frees_the_slot() {
+    let (mut child, addr) = spawn_ftd(300);
+    // Keep the silent connection alive for the whole test: no FIN, no
+    // RST, no bytes — only the server-side deadline can end it.
+    let silent = TcpStream::connect(&addr).expect("connect");
+    let t0 = Instant::now();
+    full_round_trip(&addr);
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "round-trip behind a half-open peer took {:?}",
+        t0.elapsed()
+    );
+    drop(silent);
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// A silent peer mid-conversation — handshake done, then nothing — hits
+/// the same deadline (the timeout is per-read, not just pre-Hello).
+#[test]
+fn silent_peer_after_hello_times_out() {
+    let (mut child, addr) = spawn_ftd(300);
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("client read timeout");
+    let mut r = BufReader::new(stream.try_clone().expect("clone"));
+    let _: Hello = wire::read_frame(&mut r)
+        .expect("read hello")
+        .expect("hello frame");
+    // Send nothing. The server must drop us; we observe the close as
+    // EOF on our read half.
+    let mut buf = [0u8; 1];
+    let got = r.read(&mut buf);
+    assert!(
+        matches!(got, Ok(0)),
+        "expected server-side close after the deadline, got {got:?}"
+    );
+    full_round_trip(&addr);
+    let _ = child.kill();
+    let _ = child.wait();
+}

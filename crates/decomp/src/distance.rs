@@ -1,0 +1,94 @@
+//! FCT-distribution distances used to validate the approximation.
+
+/// Quantile of a **sorted ascending** sample at `q` in `[0, 1)` (lower
+/// order statistic — no interpolation, so the value is always a real
+/// sample).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let i = ((q * sorted.len() as f64) as usize).min(sorted.len() - 1);
+    sorted[i]
+}
+
+/// Wasserstein-1 distance between two empirical distributions given as
+/// **sorted ascending** samples, evaluated on a shared quantile grid of
+/// `max(|a|, |b|)` points. For equal-length inputs this is exactly the
+/// mean absolute difference of order statistics. Returns 0 when both
+/// are empty and infinity when exactly one is.
+pub fn w1(a: &[f64], b: &[f64]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        (false, false) => {}
+    }
+    let n = a.len().max(b.len());
+    let mut sum = 0.0;
+    for j in 0..n {
+        let q = (j as f64 + 0.5) / n as f64;
+        sum += (quantile(a, q) - quantile(b, q)).abs();
+    }
+    sum / n as f64
+}
+
+/// Maximum relative quantile error between two **sorted ascending**
+/// samples on the same grid as [`w1`]: `max_q |A(q) - B(q)| / B(q)`,
+/// with `b` as the reference. Quantiles of `b` below `eps` are compared
+/// absolutely against `eps` to keep tiny FCTs from exploding the ratio.
+/// Returns 0 when both are empty and infinity when exactly one is.
+pub fn max_quantile_rel(a: &[f64], b: &[f64], eps: f64) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        (false, false) => {}
+    }
+    let n = a.len().max(b.len());
+    let mut worst = 0.0f64;
+    for j in 0..n {
+        let q = (j as f64 + 0.5) / n as f64;
+        let (qa, qb) = (quantile(a, q), quantile(b, q));
+        let rel = (qa - qb).abs() / qb.abs().max(eps);
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_at_zero() {
+        let v = [0.5, 1.0, 2.0, 4.0];
+        assert_eq!(w1(&v, &v), 0.0);
+        assert_eq!(max_quantile_rel(&v, &v, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn constant_shift_is_the_shift() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.5, 2.5, 3.5, 4.5];
+        assert!((w1(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_lengths_use_the_finer_grid() {
+        let a = [1.0, 1.0, 1.0, 1.0];
+        let b = [1.0, 1.0];
+        assert_eq!(w1(&a, &b), 0.0);
+        let c = [2.0];
+        assert!((w1(&a, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empties_are_pinned() {
+        assert_eq!(w1(&[], &[]), 0.0);
+        assert_eq!(w1(&[1.0], &[]), f64::INFINITY);
+        assert_eq!(max_quantile_rel(&[], &[1.0], 1e-9), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_quantile_guards_tiny_references() {
+        let a = [1e-12];
+        let b = [2e-12];
+        // Absolute comparison against eps, not a 2x relative blowup.
+        assert!(max_quantile_rel(&a, &b, 1e-9) < 1e-2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-link flow signatures and the distance that drives clustering.
+//!
+//! A signature captures what a link-local simulation depends on: how
+//! many flows cross the link, the link's capacity, where the link sits
+//! in the topology (endpoint node kinds — a server uplink, an
+//! edge→agg hop, an agg→core hop all cluster separately), and the
+//! *shape* of the crossing population — flow sizes and start times
+//! bucketed at exactly [`obs::Histogram`] resolution (16 sub-buckets
+//! per power of two, <= 6.25% relative width).
+//!
+//! Two links at distance 0 have the same flow count, capacity,
+//! position, and bucket-identical size/start populations, so their
+//! link-local simulations agree to within one histogram bucket per
+//! flow — that is the clustering contract the proptests pin.
+
+use crate::pipeline::LinkPop;
+use netgraph::{Graph, NodeKind};
+use obs::Histogram;
+
+/// Sorted sparse bucket counts: `(bucket index, samples in bucket)`.
+type Buckets = Vec<(usize, u64)>;
+
+/// The deterministic flow-signature of one loaded directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSignature {
+    /// Number of flows crossing the link.
+    pub count: u64,
+    /// Link capacity, compared bit-exactly.
+    pub capacity_bits: u64,
+    /// Endpoint node kinds `(src, dst)` — the link's level/mode
+    /// position. Links at different levels never cluster.
+    pub ends: (NodeKind, NodeKind),
+    /// Flow sizes (bytes) at histogram bucket resolution.
+    pub size_buckets: Buckets,
+    /// Flow start times (seconds) at histogram bucket resolution.
+    pub start_buckets: Buckets,
+}
+
+fn bucketize(values: impl Iterator<Item = f64>) -> Buckets {
+    let mut out: Buckets = Vec::new();
+    for v in values {
+        let b = Histogram::bucket_index(v);
+        // Populations are small and bucket indices arrive near-sorted;
+        // a sorted-vec insert keeps the representation canonical
+        // without hash-map iteration.
+        match out.binary_search_by_key(&b, |&(i, _)| i) {
+            Ok(pos) => out[pos].1 += 1,
+            Err(pos) => out.insert(pos, (b, 1)),
+        }
+    }
+    out
+}
+
+/// L1 distance between two sorted sparse bucket vectors, normalized by
+/// the total mass so the result is in `[0, 1]` (0 = identical buckets,
+/// 1 = disjoint).
+fn bucket_l1(a: &Buckets, b: &Buckets, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut diff = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&(ia, ca)), Some(&(ib, cb))) if ia == ib => {
+                diff += ca.abs_diff(cb);
+                i += 1;
+                j += 1;
+            }
+            (Some(&(ia, ca)), Some(&(ib, _))) if ia < ib => {
+                diff += ca;
+                i += 1;
+            }
+            (Some(_), Some(&(_, cb))) => {
+                diff += cb;
+                j += 1;
+            }
+            (Some(&(_, ca)), None) => {
+                diff += ca;
+                i += 1;
+            }
+            (None, Some(&(_, cb))) => {
+                diff += cb;
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    diff as f64 / (2 * total) as f64
+}
+
+impl LinkSignature {
+    /// Builds the signature of one populated link.
+    pub fn of(g: &Graph, pop: &LinkPop) -> Self {
+        let info = g.link(pop.link);
+        Self {
+            count: pop.flows.len() as u64,
+            capacity_bits: info.capacity_gbps.to_bits(),
+            ends: (g.node(info.src).kind, g.node(info.dst).kind),
+            size_buckets: bucketize(pop.flows.iter().map(|f| f.bytes)),
+            start_buckets: bucketize(pop.flows.iter().map(|f| f.start)),
+        }
+    }
+
+    /// Distance to another signature.
+    ///
+    /// Infinite when the flow count, capacity, or topology position
+    /// differ (such links never cluster — the representative's
+    /// simulation could not stand in). Otherwise the **maximum** of the
+    /// normalized size-bucket and start-bucket L1 distances, in
+    /// `[0, 1]`: 0 means bucket-identical populations.
+    pub fn distance(&self, other: &Self) -> f64 {
+        if self.count != other.count
+            || self.capacity_bits != other.capacity_bits
+            || self.ends != other.ends
+        {
+            return f64::INFINITY;
+        }
+        let sizes = bucket_l1(&self.size_buckets, &other.size_buckets, self.count);
+        let starts = bucket_l1(&self.start_buckets, &other.start_buckets, self.count);
+        sizes.max(starts)
+    }
+}
+
+/// Signatures for every population, in population order.
+pub fn signatures(g: &Graph, pops: &[LinkPop]) -> Vec<LinkSignature> {
+    pops.iter().map(|p| LinkSignature::of(g, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PopFlow;
+    use netgraph::LinkId;
+
+    fn pop(link: u32, flows: &[(f64, f64)]) -> LinkPop {
+        LinkPop {
+            link: LinkId(link),
+            flows: flows
+                .iter()
+                .enumerate()
+                .map(|(i, &(bytes, start))| PopFlow {
+                    idx: i,
+                    bytes,
+                    start,
+                    access_gbps: 10.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn graph_two_parallel() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::EdgeSwitch, "a");
+        let b = g.add_node(NodeKind::EdgeSwitch, "b");
+        g.add_directed_link(a, b, 10.0); // LinkId(0)
+        g.add_directed_link(a, b, 10.0); // LinkId(1)
+        g.add_directed_link(a, b, 40.0); // LinkId(2): different capacity
+        g
+    }
+
+    #[test]
+    fn identical_populations_are_at_distance_zero() {
+        let g = graph_two_parallel();
+        let flows = [(1e6, 0.0), (2e6, 0.5)];
+        let sa = LinkSignature::of(&g, &pop(0, &flows));
+        let sb = LinkSignature::of(&g, &pop(1, &flows));
+        assert_eq!(sa.distance(&sb), 0.0);
+        assert_eq!(sa.distance(&sa), 0.0);
+    }
+
+    #[test]
+    fn count_capacity_and_position_gate_clustering() {
+        let g = graph_two_parallel();
+        let sa = LinkSignature::of(&g, &pop(0, &[(1e6, 0.0)]));
+        // Different count.
+        let sb = LinkSignature::of(&g, &pop(1, &[(1e6, 0.0), (1e6, 0.0)]));
+        assert_eq!(sa.distance(&sb), f64::INFINITY);
+        // Different capacity.
+        let sc = LinkSignature::of(&g, &pop(2, &[(1e6, 0.0)]));
+        assert_eq!(sa.distance(&sc), f64::INFINITY);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let g = graph_two_parallel();
+        let sa = LinkSignature::of(&g, &pop(0, &[(1e6, 0.0), (1e6, 0.0)]));
+        let sb = LinkSignature::of(&g, &pop(1, &[(1e6, 0.0), (64e6, 0.0)]));
+        let d = sa.distance(&sb);
+        assert!(d > 0.0 && d <= 1.0, "{d}");
+        assert_eq!(d.to_bits(), sb.distance(&sa).to_bits());
+        // Half the population moved buckets: L1 mass 2 of 4 halves.
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_resolution_matches_obs_histogram() {
+        // Two sizes inside one histogram bucket are indistinguishable;
+        // sizes a bucket apart are not.
+        let g = graph_two_parallel();
+        let base = 1e6;
+        let same_bucket = base * 1.001; // < 6.25% apart
+        let sa = LinkSignature::of(&g, &pop(0, &[(base, 0.0)]));
+        let sb = LinkSignature::of(&g, &pop(1, &[(same_bucket, 0.0)]));
+        assert_eq!(
+            Histogram::bucket_index(base),
+            Histogram::bucket_index(same_bucket)
+        );
+        assert_eq!(sa.distance(&sb), 0.0);
+        let sc = LinkSignature::of(&g, &pop(1, &[(base * 2.0, 0.0)]));
+        assert!(sa.distance(&sc) > 0.0);
+    }
+}

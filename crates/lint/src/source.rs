@@ -34,8 +34,8 @@ pub enum FileKind {
 /// Engine crates: their outputs are golden-pinned, so wall-clock reads
 /// (`FTL-D002`) are forbidden anywhere inside them. The bench/verify
 /// layers legitimately measure wall time and are excluded.
-pub const ENGINE_CRATES: [&str; 7] = [
-    "flowsim", "mcf", "routing", "netgraph", "topology", "control", "traffic",
+pub const ENGINE_CRATES: [&str; 8] = [
+    "flowsim", "mcf", "routing", "netgraph", "topology", "control", "traffic", "decomp",
 ];
 
 /// A lexed, classified, segmented file ready for rule checks.
